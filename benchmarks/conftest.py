@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Every module here regenerates one experiment from DESIGN.md's index
+(figure-exact scenarios F1a-F4, quantitative claims B1-B8).  Reports are
+written to ``benchmarks/results/`` and the *shape* of each result (who
+wins, by what factor, what is zero) is asserted -- absolute numbers are
+simulator-scale, not the authors' testbed.
+"""
+
+import pytest

@@ -1,0 +1,172 @@
+"""Experiment B9: batching trade-off and the spontaneous-order assumption.
+
+Two secondary quantities the paper's design discussion leans on:
+
+* **B9a** -- Task 1a batching: the sequencer may order per-request
+  (lowest latency, one ordering message each) or batch (fewer ordering
+  messages, bounded extra latency).  The sweep quantifies the trade.
+* **B9b** -- the *spontaneous total order* assumption (Section 2.3,
+  [PS98]): optimistic protocols profit when the network delivers
+  concurrent messages to all replicas in the same order.  OAR does not
+  need the assumption for its fast path (the sequencer defines the
+  order), but the Cnsv-order ⊎-merge of `O_notdelivered` sequences is
+  cleanest when it holds.  We measure how often replicas disagree on
+  their reception order as network jitter grows -- reproducing the
+  qualitative observation that LANs are mostly-but-not-always
+  spontaneously ordered.
+"""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.core.server import OARConfig
+from repro.faults import FaultSchedule
+from repro.harness import ScenarioConfig, Table, run_scenario, write_result
+from repro.sim.latency import LanProfile
+
+BATCH_INTERVALS = [0.0, 1.0, 2.0, 5.0]
+JITTERS = [0.0, 0.5, 2.0, 5.0]
+
+
+def run_batched(batch_interval: float, seed: int = 0):
+    return run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=4,
+            requests_per_client=10,
+            driver="open",
+            open_rate=1.0,
+            oar=OARConfig(batch_interval=batch_interval),
+            grace=100.0,
+            horizon=5_000.0,
+            seed=seed,
+        )
+    )
+
+
+def run_jittered(jitter: float, seed: int = 0):
+    # Periodic GC forces phase 2, whose proposals expose each replica's
+    # local reception order of the not-yet-ordered messages.
+    return run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=4,
+            requests_per_client=8,
+            driver="open",
+            open_rate=2.0,
+            latency=LanProfile(base=1.0, jitter=jitter),
+            oar=OARConfig(batch_interval=1.0, gc_after_requests=4),
+            grace=200.0,
+            horizon=5_000.0,
+            seed=seed,
+        )
+    )
+
+
+def spontaneous_order_agreement(run) -> float:
+    """Fraction of phase-2 epochs with spontaneously-ordered receptions.
+
+    Proposals are snapshots taken at slightly different instants, so the
+    honest spontaneous-order measure is pairwise: do any two replicas
+    order the messages they *both* hold the same way?  (This is exactly
+    the property [PS98] measures on LANs.)
+    """
+    by_epoch = {}
+    for event in run.trace.events(kind="cnsv_propose"):
+        by_epoch.setdefault(event["epoch"], []).append(
+            tuple(event["o_notdelivered"])
+        )
+
+    def pair_agrees(left, right) -> bool:
+        shared = set(left) & set(right)
+        if len(shared) < 2:
+            return True
+        project = lambda seq: [m for m in seq if m in shared]
+        return project(left) == project(right)
+
+    comparable = 0
+    agreed = 0
+    for orders in by_epoch.values():
+        if len(orders) < 2:
+            continue
+        comparable += 1
+        if all(
+            pair_agrees(orders[i], orders[j])
+            for i in range(len(orders))
+            for j in range(i + 1, len(orders))
+        ):
+            agreed += 1
+    if comparable == 0:
+        return 1.0
+    return agreed / comparable
+
+
+@pytest.mark.parametrize("batch_interval", [0.0, 5.0])
+def test_batching_preserves_correctness(benchmark, batch_interval):
+    run = benchmark.pedantic(
+        run_batched, args=(batch_interval,), rounds=2, iterations=1
+    )
+    assert run.all_done()
+    run.check_all()
+
+
+def test_b9_report(benchmark):
+    batch_rows = []
+    for interval in BATCH_INTERVALS:
+        run = run_batched(interval)
+        assert run.all_done()
+        orders = run.trace.events(kind="seq_order")
+        batch_rows.append(
+            (
+                interval,
+                summarize(run.latencies()).mean,
+                len(orders),
+                sum(len(o["rids"]) for o in orders) / len(orders),
+            )
+        )
+
+    jitter_rows = []
+    for jitter in JITTERS:
+        agreements = []
+        for seed in range(4):
+            run = run_jittered(jitter, seed)
+            run.check_all(strict=False, at_least_once=False)
+            agreements.append(spontaneous_order_agreement(run))
+        jitter_rows.append((jitter, sum(agreements) / len(agreements)))
+
+    benchmark.pedantic(run_batched, args=(0.0,), rounds=1, iterations=1)
+
+    batch_table = Table(
+        "B9a -- Task 1a batching trade-off (open load, 40 requests)",
+        ["batch interval", "mean latency", "ordering msgs", "avg batch"],
+    )
+    for row in batch_rows:
+        batch_table.add_row(*row)
+
+    jitter_table = Table(
+        "B9b -- Spontaneous total order vs network jitter (Section 2.3)",
+        ["jitter (x base delay)", "epochs with agreeing reception order"],
+    )
+    for jitter, agreement in jitter_rows:
+        jitter_table.add_row(jitter, f"{agreement * 100:.0f}%")
+
+    lines = [
+        batch_table.render(),
+        "",
+        jitter_table.render(),
+        "",
+        "shape: batching divides the ordering-message count while latency",
+        "grows by at most the batch interval; spontaneous order holds on a",
+        "calm LAN and decays with jitter -- OAR's fast path is immune (the",
+        "sequencer defines the order) but the observation motivates the",
+        "optimistic-delivery literature the paper builds on.",
+    ]
+    write_result("B9_batching_spontaneous_order", "\n".join(lines))
+
+    latencies = [latency for _i, latency, _n, _b in batch_rows]
+    message_counts = [n for _i, _l, n, _b in batch_rows]
+    assert message_counts[0] > message_counts[-1]
+    assert latencies[-1] > latencies[0]
+    agreements = [agreement for _j, agreement in jitter_rows]
+    assert agreements[0] >= agreements[-1]
+    assert agreements[0] == 1.0  # no jitter -> perfect spontaneous order

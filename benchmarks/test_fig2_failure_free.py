@@ -1,0 +1,43 @@
+"""Experiment F2: Figure 2 -- the OAR algorithm with no failure nor suspicion.
+
+Five requests in two sequencer batches, all Opt-delivered in the same
+order at every server, zero conservative phases.
+"""
+
+from repro.harness.figures import run_figure_2
+from repro.harness.tables import Table, write_result
+
+EXPECTED = ("c1-0", "c1-1", "c1-2", "c1-3", "c1-4")
+
+
+def test_fig2_failure_free(benchmark):
+    run = benchmark.pedantic(run_figure_2, rounds=3, iterations=1)
+    for pid in ("p1", "p2", "p3"):
+        assert run.opt_delivered(pid) == EXPECTED
+    assert run.trace.events(kind="phase2_start") == []
+    assert run.trace.events(kind="opt_undeliver") == []
+    assert len(run.adopted()) == 5
+
+
+def test_fig2_report(benchmark):
+    run = benchmark.pedantic(run_figure_2, rounds=1, iterations=1)
+    table = Table(
+        "F2 -- Figure 2: OAR failure-free run (3 servers, batches {m1;m2},{m3;m4;m5})",
+        ["server", "Opt-delivered", "A-delivered", "Opt-undelivered"],
+    )
+    for pid in ("p1", "p2", "p3"):
+        table.add_row(
+            pid,
+            ";".join(run.opt_delivered(pid)),
+            ";".join(run.a_delivered(pid)) or "-",
+            ";".join(run.opt_undelivered(pid)) or "-",
+        )
+    batches = [e["rids"] for e in run.trace.events(kind="seq_order")]
+    lines = [
+        table.render(),
+        "",
+        f"sequencer batches: {[';'.join(b) for b in batches]}",
+        f"phase-2 executions: {len(run.trace.events(kind='phase2_start'))}",
+        f"client adoptions (all optimistic): {len(run.adopted())}",
+    ]
+    write_result("F2_figure2_failure_free", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""Experiment F3: Figure 3 -- sequencer crash, but no Opt-undelivery.
+
+The crash leaves only p2 with the ordering of {m3;m4}; the majority
+{p1, p2} Opt-delivered m3 before m4, so Cnsv-order returns Bad = ε at
+every survivor and p3 A-delivers {m3;m4}.
+"""
+
+from repro.harness.figures import run_figure_3
+from repro.harness.tables import Table, write_result
+
+M1, M2, M3, M4 = "c1-0", "c1-1", "c1-2", "c1-3"
+
+
+def test_fig3_crash_without_undo(benchmark):
+    run = benchmark.pedantic(run_figure_3, rounds=3, iterations=1)
+    assert run.server("p1").crashed
+    assert run.opt_delivered("p2") == (M1, M2, M3, M4)
+    assert run.opt_delivered("p3") == (M1, M2)
+    assert run.trace.events(kind="opt_undeliver") == []
+    results = {
+        e.pid: (e["bad"], e["new"])
+        for e in run.trace.events(kind="cnsv_order")
+    }
+    assert results["p2"] == ((), ())
+    assert results["p3"] == ((), (M3, M4))
+
+
+def test_fig3_report(benchmark):
+    run = benchmark.pedantic(run_figure_3, rounds=1, iterations=1)
+    table = Table(
+        "F3 -- Figure 3: OAR with sequencer crash, no Opt-undelivery",
+        ["server", "Opt-delivered (epoch 0)", "Bad", "New", "final order"],
+    )
+    results = {
+        e.pid: (e["bad"], e["new"])
+        for e in run.trace.events(kind="cnsv_order")
+    }
+    for pid in ("p1", "p2", "p3"):
+        bad, new = results.get(pid, ((), ()))
+        server = run.server(pid)
+        final = (
+            "CRASHED"
+            if server.crashed
+            else ";".join(server.current_order.items)
+        )
+        table.add_row(
+            pid,
+            ";".join(run.opt_delivered(pid)),
+            ";".join(bad) or "ε",
+            ";".join(new) or "ε",
+            final,
+        )
+    adoptions = {
+        rid: (a.position, a.conservative) for rid, a in run.adopted().items()
+    }
+    lines = [
+        table.render(),
+        "",
+        f"adoptions (rid -> position, conservative?): {adoptions}",
+        "paper outcome: Bad = ε everywhere; p3 A-delivers {m3;m4}  -- matched",
+    ]
+    write_result("F3_figure3_crash_no_undo", "\n".join(lines))

@@ -1,0 +1,91 @@
+"""Experiment B5: throughput and latency under open-loop load.
+
+Poisson arrivals at increasing rates drive the OAR group; Task 1a
+batching (the sequencer orders *all* pending requests in one message)
+keeps the ordering cost per request sub-linear, so the protocol sustains
+offered load with near-flat latency until the batching interval
+saturates.
+"""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.core.server import OARConfig
+from repro.harness import ScenarioConfig, Table, run_scenario, write_result
+
+RATES = [0.1, 0.5, 1.0, 2.0]
+REQUESTS = 60
+
+
+def run_at_rate(rate: float, batch_interval: float = 0.0, seed: int = 0):
+    return run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=REQUESTS // 2,
+            driver="open",
+            open_rate=rate,
+            oar=OARConfig(batch_interval=batch_interval),
+            grace=100.0,
+            horizon=10_000.0,
+            seed=seed,
+        )
+    )
+
+
+def measurements(run):
+    adoption_times = [e.time for e in run.trace.events(kind="adopt")]
+    span = max(adoption_times) - min(
+        e.time for e in run.trace.events(kind="submit")
+    )
+    throughput = len(adoption_times) / span if span > 0 else float("inf")
+    return summarize(run.latencies()), throughput
+
+
+@pytest.mark.parametrize("rate", [0.5, 2.0])
+def test_open_loop_sustains_load(benchmark, rate):
+    run = benchmark.pedantic(run_at_rate, args=(rate,), rounds=2, iterations=1)
+    assert run.all_done()
+    run.check_all()
+
+
+def test_b5_report(benchmark):
+    rows = []
+    for rate in RATES:
+        run = run_at_rate(rate)
+        assert run.all_done()
+        stats, throughput = measurements(run)
+        orders = run.trace.events(kind="seq_order")
+        avg_batch = (
+            sum(len(o["rids"]) for o in orders) / len(orders) if orders else 0.0
+        )
+        rows.append((rate, stats.mean, stats.p95, throughput, avg_batch))
+    benchmark.pedantic(run_at_rate, args=(RATES[0],), rounds=1, iterations=1)
+
+    table = Table(
+        "B5 -- OAR under open-loop Poisson load (2 clients, 60 requests)",
+        [
+            "offered rate (req/unit)",
+            "mean latency",
+            "p95 latency",
+            "goodput (req/unit)",
+            "avg batch size",
+        ],
+    )
+    for row in rows:
+        table.add_row(*row)
+    lines = [
+        table.render(),
+        "",
+        "shape: goodput tracks the offered rate; latency stays within a",
+        "few message delays of the 3-phase floor because the sequencer",
+        "batches every pending request into one ordering message.",
+    ]
+    write_result("B5_throughput", "\n".join(lines))
+
+    latencies = [mean for _r, mean, _p, _tp, _b in rows]
+    goodputs = [tp for _r, _m, _p, tp, _b in rows]
+    # Latency stays within 2x of the fast-path floor across a 20x load
+    # increase, and goodput grows with the offered rate.
+    assert max(latencies) <= 6.0
+    assert goodputs[0] < goodputs[-1]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Watch an OAR fail-over, event by event.
+
+Crashes the sequencer mid-run and prints an annotated timeline of the
+protocol's reaction: the suspicion, the PhaseII broadcast, the consensus,
+the A-deliveries, the epoch change, and the return to the optimistic fast
+path under the new sequencer.
+
+Run:  python examples/failover_timeline.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.faults import FaultSchedule
+
+INTERESTING = {
+    "crash": "CRASH",
+    "phase2_request": "suspicion -> R-broadcast PhaseII",
+    "phase2_start": "enter conservative phase",
+    "cnsv_propose": "propose (O_delivered, O_notdelivered)",
+    "consensus_decide": "consensus decides",
+    "opt_undeliver": "OPT-UNDELIVER (rollback)",
+    "a_deliver": "A-deliver",
+    "epoch_start": "new epoch",
+}
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        protocol="oar",
+        n_servers=3,
+        n_clients=2,
+        requests_per_client=8,
+        fd_interval=1.0,
+        fd_timeout=4.0,
+        fault_schedule=FaultSchedule().crash(9.0, "p1"),
+        grace=150.0,
+        seed=3,
+    )
+    print("Running: 3 replicas, sequencer p1 crashes at t=9.0 ...\n")
+    run = run_scenario(config)
+    assert run.all_done()
+    run.check_all()
+
+    print(f"{'time':>8}  {'process':<8}  event")
+    print("-" * 64)
+    shown = 0
+    for event in run.trace:
+        label = INTERESTING.get(event.kind)
+        if label is None:
+            continue
+        detail = ""
+        if event.kind == "a_deliver":
+            detail = f" {event['rid']} at position {event['position']}"
+        elif event.kind == "epoch_start" and event["epoch"] > 0:
+            detail = f" k={event['epoch']}, sequencer={event['sequencer']}"
+        elif event.kind == "epoch_start":
+            continue  # skip the k=0 boot events
+        elif event.kind == "consensus_decide":
+            detail = f" after {event['rounds']} round(s)"
+        elif event.kind == "phase2_start":
+            detail = f" (k={event['epoch']}, reason={event['reason']})"
+        elif event.kind == "opt_undeliver":
+            detail = f" {event['rid']}"
+        print(f"{event.time:8.2f}  {event.pid:<8}  {label}{detail}")
+        shown += 1
+
+    adoptions = run.trace.events(kind="adopt")
+    optimistic_after = [
+        a for a in adoptions if a.time > 9.0 and not a["conservative"]
+    ]
+    print("-" * 64)
+    print(f"\n{shown} protocol events shown; {len(adoptions)} requests adopted.")
+    print(
+        f"{len(optimistic_after)} adoptions after the crash were optimistic: "
+        "the fast path is back under the new sequencer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: a replicated counter on the OAR protocol.
+
+Builds three OAR replicas and two clients on the deterministic
+simulator, runs a small workload, and verifies every guarantee the paper
+proves (Propositions 1-7 plus the Cnsv-order specification).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.analysis.stats import summarize
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        protocol="oar",
+        n_servers=3,
+        n_clients=2,
+        requests_per_client=15,
+        machine="counter",
+        seed=42,
+    )
+    print("Running: 3 OAR replicas, 2 clients, 30 increments...\n")
+    run = run_scenario(config)
+
+    assert run.all_done(), "the scenario did not quiesce"
+    run.check_all()  # raises CheckFailure on any violated paper property
+
+    stats = summarize(run.latencies())
+    print(f"adopted replies : {len(run.adopted())}")
+    print(f"latency         : {stats.row()}")
+    print("                  (time unit = one one-way message delay;")
+    print("                   3.0 = request + ordering + reply)")
+
+    print("\nreplica state after the run:")
+    for server in run.servers:
+        print(
+            f"  {server.pid}: epoch={server.epoch} "
+            f"delivered={len(server.current_order)} "
+            f"counter={server.machine.fingerprint()}"
+        )
+
+    print("\nall paper guarantees verified:")
+    print("  - Cnsv-order specification (Section 5.4)")
+    print("  - majority guarantee (Section 4)")
+    print("  - at-most-once / at-least-once request handling (Prop. 2-4)")
+    print("  - total order of replies (Prop. 5)")
+    print("  - external consistency of adopted replies (Prop. 7)")
+
+
+if __name__ == "__main__":
+    main()

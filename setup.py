@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+offline machines whose setuptools predates PEP 660 editable-wheel support
+(the legacy ``setup.py develop`` path needs no ``wheel`` package).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

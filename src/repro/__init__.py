@@ -1,0 +1,65 @@
+"""repro -- a reproduction of "Optimistic Active Replication"
+(Felber & Schiper, ICDCS 2001).
+
+The package implements the OAR protocol and every substrate it depends on,
+entirely in Python:
+
+* :mod:`repro.core` -- the OAR client/server and the Cnsv-order
+  conservative ordering (the paper's contribution, Figures 5-7).
+* :mod:`repro.sim` -- a deterministic discrete-event simulator providing
+  the asynchronous system model (reliable FIFO channels, crashes,
+  partitions).
+* :mod:`repro.failure` -- ◇S-style failure detectors.
+* :mod:`repro.broadcast` -- reliable multicast, plus the two Atomic
+  Broadcast baselines the paper positions itself against (sequencer-based
+  and consensus-based).
+* :mod:`repro.consensus` -- Chandra-Toueg ◇S consensus with the
+  Maj-validity modification.
+* :mod:`repro.statemachine` -- deterministic, undoable replicated state
+  machines (stack, key-value store, counter, bank).
+* :mod:`repro.replication` -- classic active and passive replication
+  baselines.
+* :mod:`repro.analysis` -- trace checkers for the paper's propositions.
+* :mod:`repro.workload`, :mod:`repro.harness` -- workload generation and
+  the experiment harness behind every benchmark.
+* :mod:`repro.runtime` -- an asyncio host for the same protocol code
+  (wall-clock measurements).
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_scenario
+
+    run = run_scenario(ScenarioConfig(protocol="oar", n_servers=3,
+                                      n_clients=2, requests_per_client=10))
+    run.check_all()                  # assert the paper's guarantees
+    print(run.latencies())           # client-perceived latencies
+"""
+
+from repro.core import (
+    AdoptedReply,
+    MessageSequence,
+    OARClient,
+    OARConfig,
+    OARServer,
+    common_prefix,
+    compute_bad_new,
+    merge_dedup,
+)
+from repro.harness import ScenarioConfig, ScenarioRun, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdoptedReply",
+    "MessageSequence",
+    "OARClient",
+    "OARConfig",
+    "OARServer",
+    "ScenarioConfig",
+    "ScenarioRun",
+    "common_prefix",
+    "compute_bad_new",
+    "merge_dedup",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,427 @@
+"""Machine-checkable forms of the paper's correctness properties.
+
+Every checker takes the run's :class:`~repro.sim.trace.TraceLog` (plus
+whatever protocol objects it needs) and raises :class:`CheckFailure` with
+a precise description on violation.  Checkers are pure functions of the
+trace so they work identically for simulator and asyncio runs.
+
+Mapping to the paper:
+
+=============================  =============================================
+Paper statement                Checker
+=============================  =============================================
+Cnsv-order spec (Section 5.4)  :func:`check_cnsv_order_properties`
+Majority guarantee (Sec. 4)    :func:`check_majority_guarantee`
+Prop. 2/3 (at most once)       :func:`check_at_most_once`
+Prop. 4 (at least once)        :func:`check_at_least_once`
+Prop. 5 (total order)          :func:`check_total_order`,
+                               :func:`check_replica_convergence`
+Prop. 7 (external consistency) :func:`check_external_consistency`
+Fig. 1(b) anomaly (baseline)   :func:`count_baseline_inconsistencies`
+=============================  =============================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.sequences import MessageSequence, as_sequence, common_prefix
+from repro.sim.trace import TraceEvent, TraceLog
+
+
+class CheckFailure(AssertionError):
+    """A correctness property of the paper was violated by the run."""
+
+
+# ----------------------------------------------------------------------
+# Trace reconstruction helpers
+# ----------------------------------------------------------------------
+
+def reconstruct_delivered(trace: TraceLog, pid: str) -> List[str]:
+    """Replay a server's delivery events into its final delivered sequence.
+
+    ``opt_deliver`` appends, ``opt_undeliver`` must remove the *last*
+    element (the paper's footnote 2 reverse-order discipline -- enforced
+    here), ``a_deliver`` appends.  The result must equal the server's
+    ``current_order``; :func:`check_at_most_once` verifies both.
+    """
+    delivered: List[str] = []
+    for event in trace.events(pid=pid):
+        if event.kind == "opt_deliver":
+            delivered.append(event["rid"])
+        elif event.kind == "a_deliver":
+            delivered.append(event["rid"])
+        elif event.kind == "opt_undeliver":
+            if not delivered or delivered[-1] != event["rid"]:
+                raise CheckFailure(
+                    f"{pid}: opt_undeliver({event['rid']}) does not undo the "
+                    f"last delivery (tail={delivered[-3:]})"
+                )
+            delivered.pop()
+    return delivered
+
+
+def settled_epochs(trace: TraceLog, pid: str) -> Set[int]:
+    """Epochs whose phase 2 completed at ``pid`` (epoch e+1 started)."""
+    started = {event["epoch"] for event in trace.events(kind="epoch_start", pid=pid)}
+    return {epoch - 1 for epoch in started if epoch >= 1}
+
+
+def _epoch_opt_orders(trace: TraceLog, epoch: int) -> Dict[str, List[str]]:
+    """Per-server optimistic delivery order during one epoch."""
+    orders: Dict[str, List[str]] = defaultdict(list)
+    for event in trace.events(kind="opt_deliver"):
+        if event["epoch"] == epoch:
+            orders[event.pid].append(event["rid"])
+    return dict(orders)
+
+
+# ----------------------------------------------------------------------
+# Cnsv-order specification (Section 5.4)
+# ----------------------------------------------------------------------
+
+def check_cnsv_order_properties(trace: TraceLog, group_size: int) -> int:
+    """Validate every Cnsv-order invocation in the trace.
+
+    Returns the number of epochs checked.  Checks Agreement, Unicity,
+    Non-triviality, Validity, Undo legality, Undo consistency and Undo
+    thriftiness; Termination is implied by the run reaching quiescence
+    with matching propose/result pairs (also asserted).
+    """
+    majority = group_size // 2 + 1
+    proposals: Dict[int, Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]]] = (
+        defaultdict(dict)
+    )
+    results: Dict[int, Dict[str, TraceEvent]] = defaultdict(dict)
+    for event in trace.events(kind="cnsv_propose"):
+        proposals[event["epoch"]][event.pid] = (
+            tuple(event["o_delivered"]),
+            tuple(event["o_notdelivered"]),
+        )
+    for event in trace.events(kind="cnsv_order"):
+        results[event["epoch"]][event.pid] = event
+
+    crashed = {event.pid for event in trace.events(kind="crash")}
+
+    for epoch, per_pid in sorted(results.items()):
+        finals: Dict[str, MessageSequence] = {}
+        for pid, event in per_pid.items():
+            o_dlv = as_sequence(event["o_delivered"])
+            bad = as_sequence(event["bad"])
+            new = as_sequence(event["new"])
+            good = o_dlv.subtract(bad)
+            finals[pid] = good.concat(new)
+
+            # Unicity: New ∩ (O_delivered ⊖ Bad) = ∅.
+            if new.to_set() & good.to_set():
+                raise CheckFailure(
+                    f"unicity violated at {pid} epoch {epoch}: "
+                    f"New={new!r} overlaps Good={good!r}"
+                )
+            # Undo legality: Bad is the suffix of O_delivered.
+            if good.concat(bad) != o_dlv:
+                raise CheckFailure(
+                    f"undo legality violated at {pid} epoch {epoch}: "
+                    f"(O⊖Bad)⊕Bad = {good.concat(bad)!r} != O = {o_dlv!r}"
+                )
+            # Undo thriftiness: ⊓(Bad, New) = ε.
+            if common_prefix(bad, new):
+                raise CheckFailure(
+                    f"undo thriftiness violated at {pid} epoch {epoch}: "
+                    f"Bad={bad!r} New={new!r}"
+                )
+            # Validity: every New message was proposed by someone.
+            proposed_union: Set[str] = set()
+            for dlv, notdlv in proposals[epoch].values():
+                proposed_union |= set(dlv) | set(notdlv)
+            leftovers = new.to_set() - proposed_union
+            if leftovers:
+                raise CheckFailure(
+                    f"validity violated at {pid} epoch {epoch}: "
+                    f"New contains unproposed {sorted(leftovers)}"
+                )
+
+        # Agreement: identical final sequences across completing processes.
+        distinct = {seq.items for seq in finals.values()}
+        if len(distinct) > 1:
+            raise CheckFailure(
+                f"agreement violated in epoch {epoch}: {finals!r}"
+            )
+
+        # Non-triviality: anything held by a majority is delivered.
+        ownership: Dict[str, int] = defaultdict(int)
+        for dlv, notdlv in proposals[epoch].values():
+            for rid in set(dlv) | set(notdlv):
+                ownership[rid] += 1
+        final_set = next(iter(finals.values())).to_set() if finals else set()
+        for rid, holders in ownership.items():
+            if holders >= majority and rid not in final_set:
+                raise CheckFailure(
+                    f"non-triviality violated in epoch {epoch}: {rid} held "
+                    f"by {holders} >= {majority} processes but not delivered"
+                )
+
+        # Undo consistency: an undone message was Opt-delivered by at most
+        # a minority (counted over *all* processes, including crashed
+        # ones, via their opt_deliver events).
+        opt_orders = _epoch_opt_orders(trace, epoch)
+        for pid, event in per_pid.items():
+            for rid in event["bad"]:
+                holders = sum(1 for order in opt_orders.values() if rid in order)
+                if holders >= majority:
+                    raise CheckFailure(
+                        f"undo consistency violated at {pid} epoch {epoch}: "
+                        f"{rid} undone but Opt-delivered by {holders} processes"
+                    )
+
+        # Termination (finite-run form): every correct proposer got a result.
+        for pid in proposals[epoch]:
+            if pid not in per_pid and pid not in crashed:
+                raise CheckFailure(
+                    f"termination violated in epoch {epoch}: {pid} proposed "
+                    f"but never received a Cnsv-order result"
+                )
+
+    return len(results)
+
+
+# ----------------------------------------------------------------------
+# Majority guarantee (Section 4)
+# ----------------------------------------------------------------------
+
+def check_majority_guarantee(trace: TraceLog, group_size: int) -> int:
+    """If a majority Opt-delivered m1 before m2, nobody delivers m2 first.
+
+    Checked per epoch against every server's *final* delivered sequence
+    (reconstructed from the trace).  Returns the number of (epoch, pair)
+    combinations examined.
+    """
+    majority = group_size // 2 + 1
+    pids = {event.pid for event in trace.events(kind="opt_deliver")}
+    pids |= {event.pid for event in trace.events(kind="a_deliver")}
+    final_orders = {pid: reconstruct_delivered(trace, pid) for pid in pids}
+
+    epochs = sorted(
+        {event["epoch"] for event in trace.events(kind="opt_deliver")}
+    )
+    examined = 0
+    for epoch in epochs:
+        opt_orders = list(_epoch_opt_orders(trace, epoch).values())
+        rids = sorted({rid for order in opt_orders for rid in order})
+        for i, m1 in enumerate(rids):
+            for m2 in rids[i + 1:]:
+                before = sum(
+                    1
+                    for order in opt_orders
+                    if m1 in order and m2 in order
+                    and order.index(m1) < order.index(m2)
+                )
+                examined += 1
+                if before < majority:
+                    continue
+                for pid, order in final_orders.items():
+                    if m1 in order and m2 in order:
+                        if order.index(m2) < order.index(m1):
+                            raise CheckFailure(
+                                f"majority guarantee violated: majority "
+                                f"Opt-delivered {m1} before {m2} in epoch "
+                                f"{epoch}, but {pid} delivered {m2} first"
+                            )
+    return examined
+
+
+# ----------------------------------------------------------------------
+# Propositions 2/3/4: at-most-once, at-least-once
+# ----------------------------------------------------------------------
+
+def check_at_most_once(trace: TraceLog, servers: Iterable[Any]) -> None:
+    """No request is (finally) delivered twice; traces match server state."""
+    for server in servers:
+        delivered = reconstruct_delivered(trace, server.pid)
+        if len(delivered) != len(set(delivered)):
+            duplicates = [rid for rid in set(delivered) if delivered.count(rid) > 1]
+            raise CheckFailure(
+                f"{server.pid}: duplicate deliveries of {duplicates}"
+            )
+        state_order = _server_order(server)
+        if tuple(delivered) != state_order:
+            raise CheckFailure(
+                f"{server.pid}: trace-reconstructed order {delivered} "
+                f"differs from server state {state_order}"
+            )
+
+
+def check_at_least_once(
+    trace: TraceLog,
+    correct_servers: Iterable[Any],
+    submitted_rids: Iterable[str],
+) -> None:
+    """Every submitted request is delivered at every correct server.
+
+    Valid only for quiescent runs (the property is an "eventually").
+    """
+    expected = set(submitted_rids)
+    for server in correct_servers:
+        delivered = set(reconstruct_delivered(trace, server.pid))
+        missing = expected - delivered
+        if missing:
+            raise CheckFailure(
+                f"{server.pid}: requests never delivered: {sorted(missing)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Proposition 5: total order / replica convergence
+# ----------------------------------------------------------------------
+
+def _server_order(server: Any) -> Tuple[str, ...]:
+    """A server's full delivery order, protocol-agnostic."""
+    if hasattr(server, "current_order"):
+        return tuple(server.current_order.items)
+    return tuple(server.delivered_order)
+
+
+def check_total_order(servers: Sequence[Any]) -> None:
+    """Correct servers' delivery orders are prefix-related (equal at quiescence)."""
+    alive = [s for s in servers if not s.crashed]
+    orders = {s.pid: _server_order(s) for s in alive}
+    pids = sorted(orders)
+    for i, p in enumerate(pids):
+        for q in pids[i + 1:]:
+            a, b = orders[p], orders[q]
+            shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+            if longer[: len(shorter)] != shorter:
+                raise CheckFailure(
+                    f"total order violated between {p} and {q}: "
+                    f"{a} vs {b}"
+                )
+
+
+def check_replica_convergence(servers: Sequence[Any]) -> None:
+    """Correct servers with equal delivery orders have identical state."""
+    alive = [s for s in servers if not s.crashed]
+    by_order: Dict[Tuple[str, ...], List[Any]] = defaultdict(list)
+    for server in alive:
+        by_order[_server_order(server)].append(server)
+    for order, group in by_order.items():
+        fingerprints = {repr(s.machine.fingerprint()) for s in group}
+        if len(fingerprints) > 1:
+            raise CheckFailure(
+                f"replicas with identical order {order} diverge in state: "
+                f"{[(s.pid, s.machine.fingerprint()) for s in group]}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Proposition 7: external consistency
+# ----------------------------------------------------------------------
+
+def check_external_consistency(
+    trace: TraceLog,
+    strict: bool = True,
+) -> int:
+    """Every adopted reply agrees with what the servers (finally) delivered.
+
+    For each client ``adopt`` event, every ``a_deliver`` of the same
+    request anywhere must carry the same position and value, and every
+    ``opt_deliver`` that is never undone in its epoch must too.
+
+    ``strict=False`` tolerates mismatching *optimistic* deliveries in
+    epochs that had not settled at that server by the end of the run (the
+    undo that Proposition 7 promises simply had not happened yet); the
+    relaxed mode is for runs cut off mid-recovery.  Returns the number of
+    adoptions checked.
+    """
+    adoptions = trace.events(kind="adopt")
+    # Proposition 7 quantifies over *correct* processes: a crashed
+    # process may well have Opt-delivered in a doomed order and died
+    # before the undo -- that is exactly the Figure 4 sequencer.
+    crashed = {event.pid for event in trace.events(kind="crash")}
+    a_delivers: Dict[str, List[TraceEvent]] = defaultdict(list)
+    for event in trace.events(kind="a_deliver"):
+        if event.pid not in crashed:
+            a_delivers[event["rid"]].append(event)
+    opt_delivers: Dict[str, List[TraceEvent]] = defaultdict(list)
+    for event in trace.events(kind="opt_deliver"):
+        if event.pid not in crashed:
+            opt_delivers[event["rid"]].append(event)
+    undone: Set[Tuple[str, str, int]] = {
+        (event.pid, event["rid"], event["epoch"])
+        for event in trace.events(kind="opt_undeliver")
+    }
+    settled_cache: Dict[str, Set[int]] = {}
+
+    for adoption in adoptions:
+        rid = adoption["rid"]
+        for event in a_delivers.get(rid, ()):
+            if (
+                event["position"] != adoption["position"]
+                or event["value"] != adoption["value"]
+            ):
+                raise CheckFailure(
+                    f"external consistency violated: client adopted "
+                    f"{rid} at position {adoption['position']} "
+                    f"(value {adoption['value']!r}) but {event.pid} "
+                    f"A-delivered it at {event['position']} "
+                    f"(value {event['value']!r})"
+                )
+        for event in opt_delivers.get(rid, ()):
+            if (event.pid, rid, event["epoch"]) in undone:
+                continue
+            matches = (
+                event["position"] == adoption["position"]
+                and event["value"] == adoption["value"]
+            )
+            if matches:
+                continue
+            if not strict:
+                settled = settled_cache.setdefault(
+                    event.pid, settled_epochs(trace, event.pid)
+                )
+                if event["epoch"] not in settled:
+                    continue  # recovery was still pending at run end
+            raise CheckFailure(
+                f"external consistency violated: client adopted {rid} at "
+                f"position {adoption['position']} (value "
+                f"{adoption['value']!r}) but {event.pid} Opt-delivered it "
+                f"at {event['position']} (value {event['value']!r}) in "
+                f"epoch {event['epoch']} without undoing it"
+            )
+    return len(adoptions)
+
+
+# ----------------------------------------------------------------------
+# Baseline anomaly scoring (Figure 1(b))
+# ----------------------------------------------------------------------
+
+def count_baseline_inconsistencies(
+    trace: TraceLog,
+    correct_servers: Sequence[Any],
+) -> int:
+    """How many adopted replies the baseline run left inconsistent.
+
+    An adoption is inconsistent when a majority of the *correct* servers'
+    final states disagree with the reply the client adopted (the stale
+    reply of Figure 1(b)).  For OAR this is structurally zero
+    (Proposition 7); for the sequencer baseline it is not -- benchmark B2
+    reports both.
+    """
+    final_orders = {
+        server.pid: _server_order(server) for server in correct_servers
+    }
+    majority = len(correct_servers) // 2 + 1
+    inconsistent = 0
+    for adoption in trace.events(kind="adopt"):
+        rid = adoption["rid"]
+        disagreeing = 0
+        for pid, order in final_orders.items():
+            if rid not in order:
+                disagreeing += 1
+                continue
+            position = order.index(rid) + 1
+            if position != adoption["position"]:
+                disagreeing += 1
+        if disagreeing >= majority:
+            inconsistent += 1
+    return inconsistent

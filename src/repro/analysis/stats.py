@@ -1,0 +1,83 @@
+"""Latency statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (simulated time units)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def row(self) -> str:
+        """One formatted table row (used by the bench harness)."""
+        return (
+            f"n={self.count:5d}  mean={self.mean:7.3f}  p50={self.median:7.3f}  "
+            f"p95={self.p95:7.3f}  p99={self.p99:7.3f}  min={self.minimum:7.3f}  "
+            f"max={self.maximum:7.3f}"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (no numpy dependency needed here)."""
+    if not values:
+        raise ValueError("empty sample")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(values: Sequence[float]) -> LatencyStats:
+    """Compute :class:`LatencyStats` over a non-empty sample."""
+    if not values:
+        raise ValueError("empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return LatencyStats(
+        count=count,
+        mean=mean,
+        median=percentile(values, 0.5),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+        minimum=min(values),
+        maximum=max(values),
+        stddev=math.sqrt(variance),
+    )
+
+
+def latencies_from_trace(trace: TraceLog) -> List[float]:
+    """Client-perceived latencies of every adoption in the trace."""
+    return [event["latency"] for event in trace.events(kind="adopt")]
+
+
+def adoption_breakdown(trace: TraceLog) -> Dict[str, int]:
+    """How many adoptions were optimistic vs. conservative."""
+    optimistic = 0
+    conservative = 0
+    for event in trace.events(kind="adopt"):
+        if event.get("conservative"):
+            conservative += 1
+        else:
+            optimistic += 1
+    return {"optimistic": optimistic, "conservative": conservative}

@@ -1,0 +1,139 @@
+"""ASCII space-time diagrams of protocol runs.
+
+Renders a trace the way the paper draws its figures: one horizontal lane
+per process, time flowing right, with markers for the protocol events.
+Used by the examples and by ``benchmarks/results`` reports to make the
+scenario runs directly comparable with Figures 1-4 of the paper.
+
+Marker legend (see :data:`MARKERS`):
+
+====== ===========================================
+``.``  R-deliver (request received)
+``s``  sequencer sends an ordering message
+``o``  Opt-deliver (paper: white diamond)
+``A``  A-deliver (conservative delivery)
+``x``  Opt-undeliver (paper: grey diamond)
+``P``  PhaseII starts (conservative phase entered)
+``X``  crash
+``^``  client submits
+``*``  client adopts a reply
+``!``  client retransmits
+====== ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import TraceLog
+
+#: event kind -> (marker, description)
+MARKERS: Dict[str, Tuple[str, str]] = {
+    "r_deliver": (".", "R-deliver"),
+    "seq_order": ("s", "sequencer orders"),
+    "opt_deliver": ("o", "Opt-deliver"),
+    "a_deliver": ("A", "A-deliver"),
+    "opt_undeliver": ("x", "Opt-undeliver"),
+    "phase2_start": ("P", "PhaseII"),
+    "crash": ("X", "crash"),
+    "submit": ("^", "submit"),
+    "adopt": ("*", "adopt"),
+    "retransmit": ("!", "retransmit"),
+}
+
+
+def render_timeline(
+    trace: TraceLog,
+    pids: Sequence[str],
+    width: int = 72,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    kinds: Optional[Sequence[str]] = None,
+    legend: bool = True,
+) -> str:
+    """Render one lane per pid over ``[start, end]`` in ``width`` columns.
+
+    Events that would land on an occupied column slide right to the next
+    free one, so dense bursts stay readable at the cost of slight
+    horizontal distortion (the relative order is always preserved).
+    """
+    wanted = set(kinds) if kinds is not None else set(MARKERS)
+    events = [
+        event
+        for event in trace
+        if event.kind in wanted and event.pid in set(pids)
+    ]
+    if not events:
+        return "(no events to draw)"
+
+    t_min = start if start is not None else min(e.time for e in events)
+    t_max = end if end is not None else max(e.time for e in events)
+    if t_max <= t_min:
+        t_max = t_min + 1.0
+    span = t_max - t_min
+
+    label_width = max(len(pid) for pid in pids) + 1
+    lanes: Dict[str, List[str]] = {pid: ["-"] * width for pid in pids}
+    crashed_at: Dict[str, int] = {}
+
+    for event in sorted(events, key=lambda e: e.time):
+        if not t_min <= event.time <= t_max:
+            continue
+        column = int((event.time - t_min) / span * (width - 1))
+        lane = lanes[event.pid]
+        while column < width and lane[column] != "-":
+            column += 1
+        if column >= width:
+            column = width - 1
+        marker = MARKERS[event.kind][0]
+        lane[column] = marker
+        if event.kind == "crash":
+            crashed_at[event.pid] = column
+
+    # After a crash, blank the rest of the lane (the paper truncates the
+    # process line).
+    for pid, column in crashed_at.items():
+        lane = lanes[pid]
+        for index in range(column + 1, width):
+            if lane[index] == "-":
+                lane[index] = " "
+
+    lines = []
+    for pid in pids:
+        lines.append(f"{pid:>{label_width}} {''.join(lanes[pid])}")
+
+    axis = f"{'':>{label_width}} t={t_min:<8.1f}" + " " * max(
+        0, width - 20
+    ) + f"t={t_max:.1f}"
+    lines.append(axis)
+
+    if legend:
+        used = {event.kind for event in events}
+        parts = [
+            f"{MARKERS[kind][0]}={MARKERS[kind][1]}"
+            for kind in MARKERS
+            if kind in used
+        ]
+        lines.append("")
+        lines.append("legend: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def describe_run(trace: TraceLog, pids: Sequence[str]) -> str:
+    """A compact textual synopsis to accompany a timeline."""
+    counts: Dict[str, int] = {}
+    for event in trace:
+        if event.kind in MARKERS:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+    epochs = sorted(
+        {event["epoch"] for event in trace.events(kind="phase2_start")}
+    )
+    parts = [
+        f"{MARKERS[kind][1]}: {counts[kind]}"
+        for kind in MARKERS
+        if kind in counts
+    ]
+    summary = ", ".join(parts)
+    if epochs:
+        summary += f"; conservative phases in epoch(s) {epochs}"
+    return summary

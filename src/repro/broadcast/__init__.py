@@ -1,0 +1,24 @@
+"""Broadcast substrates and baselines.
+
+* :mod:`repro.broadcast.reliable` -- the R-multicast primitive of the
+  paper's system model (Section 3): Validity, Agreement, Integrity.
+* :mod:`repro.broadcast.sequencer` -- the Isis/Amoeba-style
+  sequencer-based Atomic Broadcast of Section 2.4, including the external
+  inconsistency of Figure 1(b).  This is the baseline OAR builds on and
+  fixes.
+* :mod:`repro.broadcast.ct_abcast` -- conservative Atomic Broadcast by
+  reduction to consensus [CT96]: always consistent, higher latency.  This
+  is the conservative end of the latency/consistency trade-off the paper
+  discusses.
+"""
+
+from repro.broadcast.ct_abcast import CTAtomicBroadcastServer
+from repro.broadcast.reliable import ReliableMulticast, RMsg
+from repro.broadcast.sequencer import SequencerAtomicBroadcastServer
+
+__all__ = [
+    "CTAtomicBroadcastServer",
+    "ReliableMulticast",
+    "RMsg",
+    "SequencerAtomicBroadcastServer",
+]

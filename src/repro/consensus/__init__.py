@@ -1,0 +1,41 @@
+"""Consensus oracles.
+
+The OAR algorithm's conservative phase reduces ``Cnsv-order`` to a
+consensus problem with a strengthened validity property (Section 5.5):
+
+* **Termination** -- each correct process eventually decides.
+* **Agreement** -- no two correct processes decide differently.
+* **Maj-validity** -- if a process decides V, then V is a sequence of
+  initial values such that, for a majority of processes p_i, if p_i
+  proposed v_i then v_i ∈ V.
+
+:mod:`repro.consensus.chandra_toueg` implements the rotating-coordinator
+◇S algorithm of [CT96]; the Maj-validity variant ([Fel98]) is obtained by
+making the first aggregated estimate the ordered vector of initial values
+collected from a majority (see
+:class:`~repro.consensus.chandra_toueg.ConsensusManager`).
+"""
+
+from repro.consensus.chandra_toueg import (
+    AGGREGATE,
+    INITIAL,
+    CAck,
+    CDecide,
+    CEstimate,
+    CNack,
+    ConsensusInstance,
+    ConsensusManager,
+    CProposal,
+)
+
+__all__ = [
+    "AGGREGATE",
+    "CAck",
+    "CDecide",
+    "CEstimate",
+    "CNack",
+    "CProposal",
+    "ConsensusInstance",
+    "ConsensusManager",
+    "INITIAL",
+]

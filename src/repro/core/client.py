@@ -1,0 +1,202 @@
+"""The OAR client (Fig. 5): weighted-quorum reply adoption.
+
+The client R-multicasts its request to the server group Π and collects
+replies.  Replies are grouped by the epoch ``k`` in which the servers
+generated them; within one epoch the client accumulates the *union* of the
+reply weights (the sets of endorsing servers).  Once that union reaches
+the majority threshold ``⌈(|Π|+1)/2⌉`` the client **adopts** a reply with
+the largest individual weight.
+
+Why this is safe (Proposition 7): within an epoch all optimistic replies
+for a request are identical (the sequencer's FIFO ordering gives
+prefix-related optimistic sequences), and all conservative replies are
+identical (Cnsv-order agreement).  A reply that could still be undone is
+endorsed by at most a minority (undo consistency), so it can never
+accumulate majority weight; conservative replies carry weight Π and win
+the largest-weight selection immediately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.broadcast.reliable import ReliableMulticast
+from repro.core.messages import Reply, Request
+from repro.sim.component import ComponentProcess
+
+
+@dataclass(frozen=True)
+class AdoptedReply:
+    """The client's final outcome for one request."""
+
+    rid: str
+    value: Any
+    position: int
+    epoch: int
+    weight: Tuple[str, ...]
+    conservative: bool
+    submit_time: float
+    adopt_time: float
+
+    @property
+    def latency(self) -> float:
+        """Client-perceived latency: adoption minus submission time."""
+        return self.adopt_time - self.submit_time
+
+
+class _PendingRequest:
+    """Reply bookkeeping for one in-flight request."""
+
+    __slots__ = ("op", "submit_time", "replies_by_epoch", "retries")
+
+    def __init__(self, op: Tuple[Any, ...], submit_time: float) -> None:
+        self.op = op
+        self.submit_time = submit_time
+        self.retries = 0
+        # epoch -> {server pid -> Reply}; per server we keep the
+        # heaviest reply seen for that epoch (a conservative reply
+        # supersedes the server's earlier optimistic one).
+        self.replies_by_epoch: Dict[int, Dict[str, Reply]] = {}
+
+
+class OARClient(ComponentProcess):
+    """A client process c issuing requests to the replicated service.
+
+    Parameters
+    ----------
+    pid:
+        Client identifier (must not collide with server pids).
+    servers:
+        Π, the server group the requests are R-multicast to.
+    on_adopt:
+        Optional callback ``(AdoptedReply) -> None`` fired on adoption;
+        closed-loop workload drivers use it to submit the next request.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        servers: Sequence[str],
+        on_adopt: Optional[Callable[[AdoptedReply], None]] = None,
+        retry_interval: Optional[float] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.servers: Tuple[str, ...] = tuple(servers)
+        self.on_adopt = on_adopt
+        #: When set, a request still unadopted after this much time is
+        #: R-multicast again (same rid; the servers never re-execute --
+        #: they re-send the cached reply).  Covers the lost-reply case:
+        #: replies travel on plain channels and die with a crashing
+        #: server, unlike requests, which the R-multicast relays protect.
+        self.retry_interval = retry_interval
+        self.retransmissions = 0
+        self.rmc = self.add_component(ReliableMulticast(self, self._unexpected_rdeliver))
+        self._counter = itertools.count()
+        self._pending: Dict[str, _PendingRequest] = {}
+        self.adopted: Dict[str, AdoptedReply] = {}
+        self.late_replies = 0
+
+    @property
+    def majority_weight(self) -> int:
+        """⌈(|Π|+1)/2⌉ (Fig. 5, line 3)."""
+        return len(self.servers) // 2 + 1
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet adopted."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, op: Tuple[Any, ...]) -> str:
+        """OAR-multicast(m, Π): R-multicast the request, start collecting.
+
+        Returns the request id; the adopted reply appears in
+        :attr:`adopted` (and via the ``on_adopt`` callback).
+        """
+        rid = f"{self.pid}-{next(self._counter)}"
+        request = Request(rid=rid, client=self.pid, op=tuple(op))
+        self._pending[rid] = _PendingRequest(request.op, self.env.now)
+        self.env.trace("submit", rid=rid, op=request.op)
+        self.rmc.multicast(request, self.servers)
+        if self.retry_interval is not None:
+            self.env.set_timer(
+                self.retry_interval, lambda: self._maybe_retry(request)
+            )
+        return rid
+
+    def _maybe_retry(self, request: Request) -> None:
+        pending = self._pending.get(request.rid)
+        if pending is None:
+            return  # adopted in the meantime
+        pending.retries += 1
+        self.retransmissions += 1
+        self.env.trace("retransmit", rid=request.rid, attempt=pending.retries)
+        self.rmc.multicast(request, self.servers)
+        self.env.set_timer(
+            self.retry_interval, lambda: self._maybe_retry(request)
+        )
+
+    def on_app_message(self, src: str, payload: Any) -> None:
+        """Handle server replies (everything else is component traffic)."""
+        if isinstance(payload, Reply):
+            self._on_reply(src, payload)
+
+    # ------------------------------------------------------------------
+
+    def _on_reply(self, src: str, reply: Reply) -> None:
+        pending = self._pending.get(reply.rid)
+        if pending is None:
+            self.late_replies += 1
+            return
+        epoch_replies = pending.replies_by_epoch.setdefault(reply.epoch, {})
+        previous = epoch_replies.get(src)
+        if previous is None or len(reply.weight) > len(previous.weight):
+            epoch_replies[src] = reply
+        self._check_adoption(reply.rid, pending)
+
+    def _check_adoption(self, rid: str, pending: _PendingRequest) -> None:
+        """Fig. 5, lines 3-6: wait for majority weight, adopt heaviest."""
+        for epoch, replies in pending.replies_by_epoch.items():
+            union: set = set()
+            for reply in replies.values():
+                union |= reply.weight
+            if len(union) < self.majority_weight:
+                continue
+            heaviest = max(replies.values(), key=lambda r: len(r.weight))
+            self._adopt(rid, pending, heaviest)
+            return
+
+    def _adopt(self, rid: str, pending: _PendingRequest, reply: Reply) -> None:
+        adopted = AdoptedReply(
+            rid=rid,
+            value=reply.value,
+            position=reply.position,
+            epoch=reply.epoch,
+            weight=tuple(sorted(reply.weight)),
+            conservative=reply.conservative,
+            submit_time=pending.submit_time,
+            adopt_time=self.env.now,
+        )
+        del self._pending[rid]
+        self.adopted[rid] = adopted
+        self.env.trace(
+            "adopt",
+            rid=rid,
+            value=reply.value,
+            position=reply.position,
+            epoch=reply.epoch,
+            weight=adopted.weight,
+            conservative=reply.conservative,
+            latency=adopted.latency,
+        )
+        if self.on_adopt is not None:
+            self.on_adopt(adopted)
+
+    @staticmethod
+    def _unexpected_rdeliver(origin: str, payload: Any) -> None:
+        raise RuntimeError(
+            f"client R-delivered unexpected payload from {origin}: {payload!r}"
+        )

@@ -1,0 +1,84 @@
+"""Wire-level message types of the OAR protocol.
+
+All messages are frozen dataclasses: hashable, comparable, safe to put in
+sets and to pickle for the TCP runtime.  Client operations are plain
+tuples (e.g. ``("push", "x")``) so that they are deterministic and
+serializable without a registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request, R-multicast to the server group Π (Fig. 5, line 2).
+
+    ``rid`` is globally unique (client id + client-local counter).
+    ``op`` is the deterministic state-machine operation tuple.
+    """
+
+    rid: str
+    client: str
+    op: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        return f"Request({self.rid}, {self.op})"
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A server's reply to a request (Fig. 6, lines 19 and 29).
+
+    ``weight`` is the set of servers that endorse this reply (Section 5.2):
+    ``{s}`` for the sequencer's own optimistic reply, ``{p, s}`` for
+    another server's optimistic reply, and the whole group Π for a
+    conservative (A-delivered) reply.
+
+    ``position`` is the global processing order of the request, the
+    "reply number" used throughout the paper's proofs (Appendix A).
+    ``value`` is the actual state-machine result.
+    """
+
+    rid: str
+    value: Any
+    position: int
+    weight: FrozenSet[str]
+    epoch: int
+    conservative: bool = False
+
+    def __repr__(self) -> str:
+        kind = "A" if self.conservative else "opt"
+        return (
+            f"Reply({self.rid}, value={self.value!r}, pos={self.position}, "
+            f"W={sorted(self.weight)}, k={self.epoch}, {kind})"
+        )
+
+
+@dataclass(frozen=True)
+class SeqOrder:
+    """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10)."""
+
+    epoch: int
+    rids: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"SeqOrder(k={self.epoch}, {{{';'.join(self.rids)}}})"
+
+
+@dataclass(frozen=True)
+class PhaseII:
+    """The ``(k, PhaseII)`` notification (Fig. 6, line 21).
+
+    ``reason`` distinguishes suspicion-triggered phase changes from the
+    periodic garbage-collection variant suggested in the Remark of
+    Section 5.3 (it does not affect the protocol, only the traces).
+    """
+
+    epoch: int
+    reason: str = "suspicion"
+
+    def __repr__(self) -> str:
+        return f"PhaseII(k={self.epoch}, {self.reason})"

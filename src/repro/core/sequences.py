@@ -1,0 +1,199 @@
+"""Sequence algebra from Section 5.1 of the paper.
+
+The OAR algorithm manipulates *sequences of messages* with four operators:
+
+* ``seq1 (+) seq2``   -- concatenation (paper: ⊕), :meth:`MessageSequence.concat`
+* ``seq1 (-) seq2``   -- all messages of seq1 not in seq2 (paper: ⊖),
+  :meth:`MessageSequence.subtract`
+* ``prefix(seq1, .., seqn)`` -- longest common prefix (paper: ⊓),
+  :func:`common_prefix`
+* ``merge(seq1, .., seqn)``  -- append all, removing duplicates (paper: ⊎),
+  :func:`merge_dedup`
+
+Sequences also convert implicitly to sets for ``in`` / intersection tests,
+exactly as the paper assumes.  Elements can be any hashable value; the OAR
+implementation uses request identifiers (strings).
+
+:class:`MessageSequence` is immutable: every operator returns a new
+sequence.  This keeps protocol state transitions auditable and makes the
+hypothesis property tests in ``tests/property/test_sequences.py`` direct
+transcriptions of the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+T = TypeVar("T", bound=Hashable)
+
+SequenceLike = Union["MessageSequence", Iterable[Hashable]]
+
+
+class MessageSequence:
+    """An immutable, duplicate-free sequence of hashable items.
+
+    The paper's sequences never contain duplicates (they are sequences of
+    distinct messages); the constructor enforces this by dropping repeated
+    items, keeping the first occurrence -- which is also exactly the
+    semantics needed by the ⊎ operator.
+    """
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        seen = {}
+        for item in items:
+            if item not in seen:
+                seen[item] = None
+        self._items: Tuple[Hashable, ...] = tuple(seen)
+        self._index = seen  # dict used as an ordered set for O(1) membership
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._index
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return MessageSequence(self._items[index])
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MessageSequence):
+            return self._items == other._items
+        if isinstance(other, (tuple, list)):
+            return self._items == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "{ε}"
+        return "{" + ";".join(str(item) for item in self._items) + "}"
+
+    @property
+    def items(self) -> Tuple[Hashable, ...]:
+        """The underlying tuple (cheap, shared, immutable)."""
+        return self._items
+
+    def to_set(self) -> FrozenSet[Hashable]:
+        """The implicit sequence-to-set conversion of Section 5.1."""
+        return frozenset(self._items)
+
+    def index_of(self, item: Hashable) -> int:
+        """Position of ``item`` (0-based).  Raises ValueError if absent."""
+        return self._items.index(item)
+
+    # -- paper operators ----------------------------------------------
+
+    def concat(self, other: SequenceLike) -> "MessageSequence":
+        """⊕: all messages of self followed by all messages of other.
+
+        The paper only ever concatenates disjoint sequences; if an item
+        appears in both, the first occurrence wins (constructor dedup),
+        which also makes ``concat`` usable as a building block for ⊎.
+        """
+        other_items = other.items if isinstance(other, MessageSequence) else tuple(other)
+        return MessageSequence(self._items + other_items)
+
+    def subtract(self, other: SequenceLike) -> "MessageSequence":
+        """⊖: all messages of self that are not in other (order kept)."""
+        if isinstance(other, MessageSequence):
+            exclude = other._index
+        else:
+            exclude = set(other)
+        return MessageSequence(item for item in self._items if item not in exclude)
+
+    def is_prefix_of(self, other: "MessageSequence") -> bool:
+        """True if self is a (possibly equal) prefix of other."""
+        if len(self._items) > len(other._items):
+            return False
+        return other._items[: len(self._items)] == self._items
+
+    def starts_with(self, prefix: "MessageSequence") -> bool:
+        """True if ``prefix`` is a prefix of self (flipped is_prefix_of)."""
+        return prefix.is_prefix_of(self)
+
+    # -- convenience --------------------------------------------------
+
+    def append(self, item: Hashable) -> "MessageSequence":
+        """self ⊕ {item}."""
+        return self.concat((item,))
+
+    def suffix_from(self, index: int) -> "MessageSequence":
+        """The suffix starting at position ``index``."""
+        return MessageSequence(self._items[index:])
+
+    def prefix_to(self, index: int) -> "MessageSequence":
+        """The prefix of the first ``index`` items."""
+        return MessageSequence(self._items[:index])
+
+
+#: The empty sequence ε of the paper.
+EMPTY: MessageSequence = MessageSequence()
+
+
+def as_sequence(value: SequenceLike) -> MessageSequence:
+    """Coerce an iterable to a :class:`MessageSequence` (no copy if already one)."""
+    if isinstance(value, MessageSequence):
+        return value
+    return MessageSequence(value)
+
+
+def common_prefix(*sequences: SequenceLike) -> MessageSequence:
+    """⊓: the longest sequence that is a common prefix of all arguments.
+
+    ``common_prefix()`` of zero arguments is the empty sequence (the paper
+    never takes ⊓ of nothing, but the total function keeps callers simple).
+    """
+    if not sequences:
+        return EMPTY
+    seqs = [as_sequence(s) for s in sequences]
+    shortest = min(len(s) for s in seqs)
+    prefix_len = 0
+    first = seqs[0]
+    for position in range(shortest):
+        item = first[position]
+        if all(s[position] == item for s in seqs[1:]):
+            prefix_len = position + 1
+        else:
+            break
+    return first.prefix_to(prefix_len)
+
+
+def merge_dedup(*sequences: SequenceLike) -> MessageSequence:
+    """⊎: append all sequences together, removing duplicates.
+
+    Defined recursively in the paper as::
+
+        ⊎(seq1) = seq1
+        ⊎(seq1, ..., seq_{i+1}) = ⊎(seq1, ..., seq_i)
+                                  ⊕ (seq_{i+1} ⊖ ⊎(seq1, ..., seq_i))
+
+    which is exactly "first occurrence wins", i.e. the constructor's
+    dedup over the plain concatenation.
+    """
+    items = []
+    for sequence in sequences:
+        seq = as_sequence(sequence)
+        items.extend(seq.items)
+    return MessageSequence(items)

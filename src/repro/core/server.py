@@ -1,0 +1,580 @@
+"""The OAR server (Fig. 6): optimistic phase, conservative phase, epochs.
+
+Each server process runs the five tasks of the paper, in mutual exclusion
+(the hosting substrate delivers one event at a time):
+
+* **Task 0**  -- buffer incoming client requests (R-delivered).
+* **Task 1a** -- the sequencer orders not-yet-ordered messages and sends
+  the sequence to the group (phase 1).
+* **Task 1b** -- on receiving the sequencer's ordering message, the server
+  Opt-delivers each request: applies it to the state machine (recording an
+  undo entry), and replies to the client with weight ``{s}`` (if it *is*
+  the sequencer) or ``{p, s}`` (otherwise).
+* **Task 1c** -- on suspecting the sequencer, R-broadcast ``(k, PhaseII)``.
+* **Task 2**  -- on R-delivering ``(k, PhaseII)``, run Cnsv-order (reduction
+  to Maj-validity consensus), Opt-undeliver the ``Bad`` suffix in reverse
+  order, A-deliver ``New`` with weight Π, settle the epoch, rotate the
+  sequencer, and move to epoch k+1.
+
+Two engineering details the pseudo-code leaves implicit are handled
+explicitly here and stress-tested:
+
+* An ordering message can arrive *before* the request it orders has been
+  R-delivered locally (the ordering message travels one hop from the
+  sequencer; the request may need a relay).  Ordered-but-unknown requests
+  wait in ``_opt_pending`` and are drained as requests arrive -- in order.
+* The ``New`` sequence of Cnsv-order can likewise contain requests not yet
+  R-delivered locally.  Phase 2 completes only once all of them are known
+  (R-multicast agreement guarantees they arrive).
+
+The Remark of Section 5.3 (unbounded ``O_delivered`` when phase 2 is
+rare) is implemented as the two garbage-collection knobs
+``gc_after_requests`` / ``gc_interval``, which make the sequencer
+R-broadcast a periodic PhaseII.  Benchmarks quantify the trade-off
+(`benchmarks/test_ablation_gc.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.consensus.chandra_toueg import ConsensusManager
+from repro.core.cnsv_order import (
+    CnsvOrderResult,
+    compute_bad_new,
+    decision_from_vector,
+)
+from repro.core.messages import PhaseII, Reply, Request, SeqOrder
+from repro.core.sequences import EMPTY, MessageSequence
+from repro.broadcast.reliable import ReliableMulticast
+from repro.failure.detector import (
+    FailureDetector,
+    HeartbeatFailureDetector,
+    resolve_fd,
+)
+from repro.sim.component import ComponentProcess
+from repro.statemachine.base import StateMachine
+from repro.statemachine.undo import UndoLog
+
+
+@dataclass
+class OARConfig:
+    """Tunable knobs of the OAR server.
+
+    batch_interval:
+        How often Task 1a runs at the sequencer.  ``0.0`` means "order
+        immediately upon R-delivery" (lowest latency); a positive value
+        batches requests, trading latency for fewer ordering messages.
+    rotate_sequencer:
+        Use the rotating-coordinator scheme of Section 5.3 (new sequencer
+        after each phase 2).  Disabling it reproduces the "crashed
+        sequencer continuously slows down the system" pathology.
+    gc_after_requests / gc_interval:
+        The periodic PhaseII garbage collection of the Remark in
+        Section 5.3: trigger phase 2 every N optimistic deliveries or
+        every T time units.  ``None`` disables (the paper's base
+        algorithm).
+    consensus_collect:
+        Estimate-collection discipline of the Cnsv-order consensus:
+        ``"majority"`` (strict [CT96]) or ``"unsuspected"`` (the paper's
+        footnote 5 -- required to reproduce the Opt-undelivery of
+        Figure 4 with four servers).
+    """
+
+    batch_interval: float = 0.0
+    rotate_sequencer: bool = True
+    gc_after_requests: Optional[int] = None
+    gc_interval: Optional[float] = None
+    consensus_collect: str = "majority"
+
+    #: Verify the server's internal invariants after every task (state
+    #: disjointness, undo-log alignment, request-body coverage).  Cheap
+    #: enough for tests and debugging; off by default for big sweeps.
+    paranoid: bool = False
+
+    #: Smallest allowed positive batch/GC interval: a near-zero periodic
+    #: timer would starve the event loop without ordering any faster
+    #: than ``batch_interval = 0`` (order on every R-delivery).
+    MIN_INTERVAL = 0.001
+
+    def __post_init__(self) -> None:
+        if self.batch_interval < 0:
+            raise ValueError("batch_interval must be >= 0")
+        if 0 < self.batch_interval < self.MIN_INTERVAL:
+            raise ValueError(
+                f"batch_interval {self.batch_interval} is below the "
+                f"{self.MIN_INTERVAL} floor; use 0 for order-on-arrival"
+            )
+        if self.gc_interval is not None and self.gc_interval < self.MIN_INTERVAL:
+            raise ValueError("gc_interval must be >= MIN_INTERVAL")
+        if self.gc_after_requests is not None and self.gc_after_requests < 1:
+            raise ValueError("gc_after_requests must be >= 1")
+
+
+class OARServer(ComponentProcess):
+    """A server process p of the replicated service Π (Fig. 6).
+
+    Parameters
+    ----------
+    pid:
+        This server's identifier; must be a member of ``group``.
+    group:
+        Π, the ordered list of all server identifiers.  The epoch-k
+        sequencer is ``group[k mod n]`` when rotation is enabled.
+    machine:
+        The deterministic state machine to replicate.
+    fd:
+        The ◇S failure-detector instance (heartbeat or scripted); used by
+        Task 1c and by the consensus oracle.
+    config:
+        Protocol knobs; see :class:`OARConfig`.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        group: Sequence[str],
+        machine: StateMachine,
+        fd: FailureDetector,
+        config: Optional[OARConfig] = None,
+    ) -> None:
+        super().__init__(pid)
+        if pid not in group:
+            raise ValueError(f"{pid} not in server group {group}")
+        self.group: Tuple[str, ...] = tuple(group)
+        self.machine = machine
+        self.fd = resolve_fd(fd, self)
+        fd = self.fd
+        self.config = config or OARConfig()
+
+        # Fig. 6, lines 1-5.
+        self.r_delivered: MessageSequence = EMPTY
+        self.a_delivered: MessageSequence = EMPTY
+        self.o_delivered: MessageSequence = EMPTY
+        self.epoch = 0
+
+        self.phase = 1
+        self.sequencer_index = 0
+        self.requests: Dict[str, Request] = {}
+        self.undo_log = UndoLog()
+
+        # Ordered by the sequencer but not yet executable (request body
+        # not R-delivered yet); drained in order by Task 0.
+        self._opt_pending: List[str] = []
+
+        # Buffers for messages belonging to future epochs.
+        self._future_orders: Dict[int, List[SeqOrder]] = {}
+        self._future_phase2: Dict[int, str] = {}
+
+        # Epochs for which this process already R-broadcast PhaseII.
+        self._phase2_requested: Set[int] = set()
+
+        # Pending Cnsv-order result waiting for missing New requests.
+        self._pending_result: Optional[CnsvOrderResult] = None
+
+        self._opt_delivery_count_this_epoch = 0
+
+        # At-most-once execution with at-least-once replies: the last
+        # reply sent per request, re-sent when a client retransmission
+        # R-delivers an already-known rid.  Entries are replaced when a
+        # message is re-delivered after an Opt-undeliver.
+        self._reply_cache: Dict[str, Reply] = {}
+
+        self.rmc = self.add_component(ReliableMulticast(self, self._on_rdeliver))
+        self.consensus = self.add_component(
+            ConsensusManager(
+                self, self.group, fd, collect=self.config.consensus_collect
+            )
+        )
+        if isinstance(fd, HeartbeatFailureDetector):
+            self.add_component(fd)
+        fd.add_listener(self._on_suspicion)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests, checkers and benchmarks)
+    # ------------------------------------------------------------------
+
+    @property
+    def current_sequencer(self) -> str:
+        """The sequencer s of the current epoch."""
+        return self.group[self.sequencer_index]
+
+    @property
+    def is_sequencer(self) -> bool:
+        """True when this process is the current epoch's sequencer s."""
+        return self.current_sequencer == self.pid
+
+    @property
+    def settled_order(self) -> MessageSequence:
+        """A_delivered: the conservatively settled global order."""
+        return self.a_delivered
+
+    @property
+    def current_order(self) -> MessageSequence:
+        """A_delivered ⊕ O_delivered: this server's full delivery order."""
+        return self.a_delivered.concat(self.o_delivered)
+
+    @property
+    def majority(self) -> int:
+        """⌈(|Π|+1)/2⌉ -- the quorum every guarantee is anchored in."""
+        return len(self.group) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Start components, batch/GC timers, and trace epoch 0."""
+        super().on_start()
+        if self.config.batch_interval > 0:
+            self._schedule_batch_tick()
+        if self.config.gc_interval is not None:
+            self._schedule_gc_tick()
+        self.env.trace("epoch_start", epoch=0, sequencer=self.current_sequencer)
+
+    def _schedule_batch_tick(self) -> None:
+        def tick() -> None:
+            self._maybe_order()
+            self._schedule_batch_tick()
+
+        self.env.set_timer(self.config.batch_interval, tick)
+
+    def _schedule_gc_tick(self) -> None:
+        def tick() -> None:
+            if self.is_sequencer and self.phase == 1 and self.o_delivered:
+                self._request_phase2("gc")
+            self._schedule_gc_tick()
+
+        self.env.set_timer(self.config.gc_interval, tick)
+
+    # ------------------------------------------------------------------
+    # Task 0: buffer incoming client messages (and PhaseII notifications)
+    # ------------------------------------------------------------------
+
+    def _on_rdeliver(self, origin: str, payload: Any) -> None:
+        if isinstance(payload, Request):
+            self._task0_request(payload)
+        elif isinstance(payload, PhaseII):
+            self._task2_phase2(payload)
+        else:
+            raise TypeError(f"unexpected R-delivered payload: {payload!r}")
+
+    def _task0_request(self, request: Request) -> None:
+        if request.rid in self.requests:
+            # A client retransmission (R-multicast integrity rules out
+            # duplicates of the *same* multicast): never re-execute, but
+            # re-send the cached reply so the client can still adopt.
+            cached = self._reply_cache.get(request.rid)
+            if cached is not None:
+                self.env.send(request.client, cached)
+            return
+        self.requests[request.rid] = request
+        self.r_delivered = self.r_delivered.append(request.rid)
+        self.env.trace("r_deliver", rid=request.rid)
+        self._drain_opt_pending()
+        if self._pending_result is not None:
+            self._try_finish_phase2()
+        if self.config.batch_interval == 0:
+            self._maybe_order()
+
+    # ------------------------------------------------------------------
+    # Task 1a: the sequencer orders messages
+    # ------------------------------------------------------------------
+
+    def _unordered(self) -> MessageSequence:
+        """(R_delivered ⊖ A_delivered) ⊖ O_delivered (Fig. 6, line 9)."""
+        return self.r_delivered.subtract(self.a_delivered).subtract(self.o_delivered)
+
+    def _maybe_order(self) -> None:
+        if self.phase != 1 or not self.is_sequencer:
+            return
+        # Exclude messages already ordered (sent in an earlier msgSet of
+        # this epoch) but still waiting for their request body locally.
+        not_delivered = self._unordered().subtract(self._opt_pending)
+        if not not_delivered:
+            return
+        order = SeqOrder(self.epoch, not_delivered.items)
+        self.env.trace("seq_order", epoch=self.epoch, rids=order.rids)
+        for member in self.group:
+            if member != self.pid:
+                self.env.send(member, order)
+        # The paper assumes the sequencer delivers its own ordering
+        # message immediately (Section 5.3).
+        self._task1b_order(self.pid, order)
+
+    # ------------------------------------------------------------------
+    # Task 1b: optimistic delivery
+    # ------------------------------------------------------------------
+
+    def on_app_message(self, src: str, payload: Any) -> None:
+        """Handle the sequencer's ordering messages (Task 1b)."""
+        if isinstance(payload, SeqOrder):
+            self._task1b_order(src, payload)
+
+    def _task1b_order(self, src: str, order: SeqOrder) -> None:
+        if order.epoch < self.epoch:
+            return  # stale: sent by the sequencer of a finished epoch
+        if order.epoch > self.epoch or self.phase == 2:
+            # From a sequencer ahead of us, or received while this epoch's
+            # conservative phase is running: buffer for the epoch it names.
+            if order.epoch > self.epoch:
+                self._future_orders.setdefault(order.epoch, []).append(order)
+            return
+        if src != self.current_sequencer:
+            return  # only the epoch's sequencer may order (defensive)
+        for rid in order.rids:
+            if (
+                rid in self.a_delivered
+                or rid in self.o_delivered
+                or rid in self._opt_pending
+            ):
+                continue
+            self._opt_pending.append(rid)
+        self._drain_opt_pending()
+
+    def _drain_opt_pending(self) -> None:
+        """Opt-deliver ordered requests whose bodies have arrived, in order."""
+        if self.phase != 1:
+            return
+        while self._opt_pending and self._opt_pending[0] in self.requests:
+            rid = self._opt_pending.pop(0)
+            self._opt_deliver(rid)
+
+    def _opt_deliver(self, rid: str) -> None:
+        """Fig. 6, lines 12-19: process the request, reply optimistically."""
+        sequencer = self.current_sequencer
+        if self.pid == sequencer:
+            weight = frozenset({sequencer})
+        else:
+            weight = frozenset({self.pid, sequencer})
+        request = self.requests[rid]
+        result, undo = self.machine.apply_with_undo(request.op)
+        self.o_delivered = self.o_delivered.append(rid)
+        self.undo_log.push(rid, undo)
+        self._opt_delivery_count_this_epoch += 1
+        position = len(self.a_delivered) + len(self.o_delivered)
+        reply = Reply(
+            rid=rid,
+            value=result,
+            position=position,
+            weight=weight,
+            epoch=self.epoch,
+            conservative=False,
+        )
+        self.env.trace(
+            "opt_deliver",
+            rid=rid,
+            epoch=self.epoch,
+            position=position,
+            value=result,
+        )
+        self._reply_cache[rid] = reply
+        self.env.send(request.client, reply)
+        if (
+            self.config.gc_after_requests is not None
+            and self.is_sequencer
+            and self._opt_delivery_count_this_epoch >= self.config.gc_after_requests
+        ):
+            self._request_phase2("gc")
+
+    # ------------------------------------------------------------------
+    # Task 1c: suspicion of the sequencer
+    # ------------------------------------------------------------------
+
+    def _on_suspicion(self, pid: str, suspected: bool) -> None:
+        if suspected and self.phase == 1 and pid == self.current_sequencer:
+            self._request_phase2("suspicion")
+
+    def _request_phase2(self, reason: str) -> None:
+        """Fig. 6, line 21: R-broadcast (k, PhaseII) to the group, once."""
+        if self.epoch in self._phase2_requested:
+            return
+        self._phase2_requested.add(self.epoch)
+        self.env.trace("phase2_request", epoch=self.epoch, reason=reason)
+        self.rmc.multicast(PhaseII(self.epoch, reason), self.group)
+
+    # ------------------------------------------------------------------
+    # Task 2: conservative ordering
+    # ------------------------------------------------------------------
+
+    def _task2_phase2(self, notification: PhaseII) -> None:
+        epoch = notification.epoch
+        if epoch < self.epoch:
+            return  # this epoch is already settled locally
+        if epoch > self.epoch:
+            self._future_phase2.setdefault(epoch, notification.reason)
+            return
+        if self.phase == 2:
+            return  # already running this epoch's conservative phase
+        self.phase = 2
+        self.env.trace("phase2_start", epoch=epoch, reason=notification.reason)
+        # Requests ordered by the sequencer whose bodies never arrived are
+        # not delivered; they are covered by O_notdelivered (if received)
+        # or by a later epoch.
+        self._opt_pending.clear()
+        o_notdelivered = self._unordered()
+        proposal = (self.o_delivered.items, o_notdelivered.items)
+        self.env.trace(
+            "cnsv_propose",
+            epoch=epoch,
+            o_delivered=self.o_delivered.items,
+            o_notdelivered=o_notdelivered.items,
+        )
+        self.consensus.propose(("cnsv", epoch), proposal, self._on_cnsv_decide)
+
+    def _on_cnsv_decide(self, instance_id: Tuple[str, int], vector: Any) -> None:
+        _tag, epoch = instance_id
+        if epoch != self.epoch or self.phase != 2:
+            raise RuntimeError(
+                f"{self.pid}: decision for epoch {epoch} in epoch "
+                f"{self.epoch}/phase {self.phase}"
+            )
+        decision = decision_from_vector(vector)
+        result = compute_bad_new(self.o_delivered, decision)
+        self.env.trace(
+            "cnsv_order",
+            epoch=epoch,
+            o_delivered=self.o_delivered.items,
+            decision=decision,
+            bad=result.bad.items,
+            new=result.new.items,
+        )
+        self._pending_result = result
+        self._try_finish_phase2()
+
+    def _try_finish_phase2(self) -> None:
+        """Complete phase 2 once every request in New is known locally."""
+        result = self._pending_result
+        if result is None:
+            return
+        missing = [rid for rid in result.new if rid not in self.requests]
+        if missing:
+            self.env.trace("phase2_waiting", epoch=self.epoch, missing=tuple(missing))
+            return
+        self._pending_result = None
+        self._finish_phase2(result)
+
+    def _finish_phase2(self, result: CnsvOrderResult) -> None:
+        epoch = self.epoch
+
+        # Fig. 6, lines 25-26: Opt-undeliver Bad, in reverse delivery
+        # order (footnote 2).
+        for rid in reversed(result.bad.items):
+            self.undo_log.undo_last(rid)
+            # The cached reply reflects the undone execution; drop it
+            # until the message is delivered again.
+            self._reply_cache.pop(rid, None)
+            self.env.trace("opt_undeliver", rid=rid, epoch=epoch)
+
+        # Fig. 6, lines 27-29: A-deliver New, reply with weight Π.
+        survivors = self.o_delivered.subtract(result.bad)
+        base_position = len(self.a_delivered) + len(survivors)
+        for offset, rid in enumerate(result.new.items):
+            request = self.requests.get(rid)
+            op_result = self.machine.apply(request.op)
+            position = base_position + offset + 1
+            reply = Reply(
+                rid=rid,
+                value=op_result,
+                position=position,
+                weight=frozenset(self.group),
+                epoch=epoch,
+                conservative=True,
+            )
+            self.env.trace(
+                "a_deliver",
+                rid=rid,
+                epoch=epoch,
+                position=position,
+                value=op_result,
+            )
+            self._reply_cache[rid] = reply
+            self.env.send(request.client, reply)
+
+        # Fig. 6, lines 30-32: settle the epoch.
+        self.a_delivered = self.a_delivered.concat(survivors).concat(result.new)
+        self.o_delivered = EMPTY
+        self.undo_log.commit()
+        self.epoch = epoch + 1
+        self.phase = 1
+        self._opt_delivery_count_this_epoch = 0
+        if self.config.rotate_sequencer:
+            self.sequencer_index = (self.sequencer_index + 1) % len(self.group)
+        self.env.trace(
+            "epoch_start", epoch=self.epoch, sequencer=self.current_sequencer
+        )
+
+        # Replay anything buffered for the new epoch, then resume Task 1a.
+        self._replay_buffers()
+        if self.phase == 1:
+            if (
+                self.fd.is_suspected(self.current_sequencer)
+                and self.epoch not in self._phase2_requested
+            ):
+                # Task 1c for the new epoch: the new sequencer is already
+                # suspected.
+                self._request_phase2("suspicion")
+            self._maybe_order()
+
+    def _replay_buffers(self) -> None:
+        orders = self._future_orders.pop(self.epoch, [])
+        for order in orders:
+            self._task1b_order(self.current_sequencer, order)
+        reason = self._future_phase2.pop(self.epoch, None)
+        if reason is not None:
+            self._task2_phase2(PhaseII(self.epoch, reason))
+
+    # ------------------------------------------------------------------
+    # Paranoid self-checks (OARConfig.paranoid)
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Deliver one message, then self-check when paranoid."""
+        super().on_message(src, payload)
+        if self.config.paranoid:
+            self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants of the Fig. 6 state.
+
+        Raises ``RuntimeError`` with a precise description if any is
+        broken -- these are implementation invariants, one level below
+        the paper's propositions (which the trace checkers cover).
+        """
+        a_set = self.a_delivered.to_set()
+        o_set = self.o_delivered.to_set()
+        if a_set & o_set:
+            raise RuntimeError(
+                f"{self.pid}: A_delivered and O_delivered overlap: "
+                f"{sorted(a_set & o_set)}"
+            )
+        delivered = a_set | o_set
+        r_set = self.r_delivered.to_set()
+        # Settled/optimistic messages whose body we do not know are
+        # impossible; messages can be delivered without being in
+        # R_delivered only via Cnsv-order's New (and then the body was
+        # required before A-delivery).
+        missing_bodies = delivered - set(self.requests)
+        if missing_bodies:
+            raise RuntimeError(
+                f"{self.pid}: delivered without request body: "
+                f"{sorted(missing_bodies)}"
+            )
+        if self.phase == 1:
+            # Undo log tracks exactly the current epoch's optimistic
+            # deliveries, in order.
+            if tuple(self.undo_log.tags) != self.o_delivered.items:
+                raise RuntimeError(
+                    f"{self.pid}: undo log {self.undo_log.tags} out of sync "
+                    f"with O_delivered {self.o_delivered.items}"
+                )
+        # Everything R-delivered is either pending, optimistic or settled;
+        # nothing is both pending and delivered.
+        pending = set(self._opt_pending)
+        if pending & delivered:
+            raise RuntimeError(
+                f"{self.pid}: pending ∩ delivered = {sorted(pending & delivered)}"
+            )
+        if self.phase not in (1, 2):
+            raise RuntimeError(f"{self.pid}: bad phase {self.phase}")

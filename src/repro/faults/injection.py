@@ -1,0 +1,202 @@
+"""Fault-injection primitives over the simulated network.
+
+The key scenario tool is :func:`crash_during_multicast`: the paper's
+interesting runs all hinge on a process crashing *partway through* a
+multicast -- the sequencer's ordering message reaching only some replicas
+(Figures 3, 4) or nobody (Figure 1(b)).  A multicast in this codebase is a
+plain loop of sends (see :meth:`repro.sim.process.ProcessEnv.send_to_all`),
+so an interceptor can deliver the message to a chosen subset and then
+crash the sender the instant the handler finishes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.sim.network import SimNetwork
+
+#: Predicate over message payloads selecting the multicast to disrupt.
+PayloadMatch = Callable[[Any], bool]
+
+
+class CrashDuringMulticast:
+    """Interceptor: crash ``sender`` mid-multicast of a matching message.
+
+    Once armed, the first send from ``sender`` whose payload satisfies
+    ``match`` triggers: sends of that payload to destinations outside
+    ``deliver_to`` are dropped, and the sender is crashed as soon as the
+    current event (the multicast loop) completes -- messages to the
+    allowed destinations are already in flight, everything later is lost.
+    """
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        sender: str,
+        match: PayloadMatch,
+        deliver_to: Iterable[str],
+        crash: bool = True,
+    ) -> None:
+        self.network = network
+        self.sender = sender
+        self.match = match
+        self.deliver_to: Set[str] = set(deliver_to)
+        self.crash = crash
+        self.triggered_at: Optional[float] = None
+        self._armed = True
+        network.add_interceptor(self)
+
+    def __call__(self, src: str, dst: str, payload: Any) -> bool:
+        if not self._armed or src != self.sender or not self.match(payload):
+            return True
+        if self.triggered_at is None:
+            self.triggered_at = self.network.sim.now
+            if self.crash:
+                # After the multicast loop finishes (same instant, later
+                # event), the sender is gone.
+                self.network.sim.call_soon(self._finish)
+        return dst in self.deliver_to
+
+    def _finish(self) -> None:
+        self._armed = False
+        if self.crash:
+            self.network.crash(self.sender)
+
+
+def crash_during_multicast(
+    network: SimNetwork,
+    sender: str,
+    match: PayloadMatch,
+    deliver_to: Iterable[str],
+    crash: bool = True,
+) -> CrashDuringMulticast:
+    """Arm a :class:`CrashDuringMulticast` interceptor and return it."""
+    return CrashDuringMulticast(network, sender, match, deliver_to, crash)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed action in a :class:`FaultSchedule`.
+
+    ``kind`` is one of ``crash``, ``partition``, ``heal``, ``suspect``,
+    ``unsuspect``.  ``target`` is a pid for crash/suspect/unsuspect, a
+    sequence of groups for partition, and unused for heal.  Suspicion
+    actions require ``detectors`` to be passed to :meth:`FaultSchedule.apply`
+    (they force the scripted/heartbeat detector of *every* process, i.e. a
+    network-wide simultaneous suspicion; per-process scripting can use the
+    detectors directly).
+    """
+
+    time: float
+    kind: str
+    target: Any = None
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative, reproducible schedule of fault events."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+
+    def crash(self, time: float, pid: str) -> "FaultSchedule":
+        """Add a crash of ``pid`` at ``time``; returns self for chaining."""
+        self.actions.append(FaultAction(time, "crash", pid))
+        return self
+
+    def partition(self, time: float, groups: Sequence[Sequence[str]]) -> "FaultSchedule":
+        """Add a partition into ``groups`` at ``time``."""
+        self.actions.append(
+            FaultAction(time, "partition", tuple(tuple(g) for g in groups))
+        )
+        return self
+
+    def heal(self, time: float) -> "FaultSchedule":
+        """Add a heal (release all held messages) at ``time``."""
+        self.actions.append(FaultAction(time, "heal"))
+        return self
+
+    def suspect(self, time: float, pid: str) -> "FaultSchedule":
+        """Force every detector to suspect ``pid`` at ``time``."""
+        self.actions.append(FaultAction(time, "suspect", pid))
+        return self
+
+    def unsuspect(self, time: float, pid: str) -> "FaultSchedule":
+        """Retract the forced suspicion of ``pid`` at ``time``."""
+        self.actions.append(FaultAction(time, "unsuspect", pid))
+        return self
+
+    def apply(self, network: SimNetwork, detectors: Sequence[Any] = ()) -> None:
+        """Schedule every action on the network's simulator."""
+        for action in self.actions:
+            network.sim.schedule_at(
+                action.time, _make_action(network, detectors, action)
+            )
+
+    @property
+    def crash_times(self) -> List[float]:
+        return [a.time for a in self.actions if a.kind == "crash"]
+
+
+def _make_action(
+    network: SimNetwork, detectors: Sequence[Any], action: FaultAction
+) -> Callable[[], None]:
+    def run() -> None:
+        if action.kind == "crash":
+            network.crash(action.target)
+        elif action.kind == "partition":
+            network.set_partition(action.target)
+        elif action.kind == "heal":
+            network.heal()
+        elif action.kind == "suspect":
+            for detector in detectors:
+                detector.force_suspect(action.target)
+        elif action.kind == "unsuspect":
+            for detector in detectors:
+                detector.force_unsuspect(action.target)
+        else:
+            raise ValueError(f"unknown fault action: {action.kind}")
+
+    return run
+
+
+def random_fault_schedule(
+    rng: random.Random,
+    pids: Sequence[str],
+    horizon: float,
+    max_crashes: int,
+    suspicion_rate: float = 0.0,
+    partition_probability: float = 0.0,
+    partition_duration: float = 20.0,
+) -> FaultSchedule:
+    """A seeded random schedule respecting the majority-correct assumption.
+
+    At most ``max_crashes`` (must leave a majority alive) crash events at
+    uniform times; optional transient wrong suspicions of live processes
+    (each later retracted); optional one partition window that isolates a
+    minority.
+    """
+    majority = len(pids) // 2 + 1
+    if len(pids) - max_crashes < majority:
+        raise ValueError("schedule would violate the majority-correct assumption")
+    schedule = FaultSchedule()
+    victims = rng.sample(list(pids), max_crashes)
+    for victim in victims:
+        schedule.crash(rng.uniform(horizon * 0.1, horizon * 0.8), victim)
+    survivors = [pid for pid in pids if pid not in victims]
+    if suspicion_rate > 0:
+        for pid in survivors:
+            if rng.random() < suspicion_rate:
+                start = rng.uniform(horizon * 0.1, horizon * 0.7)
+                schedule.suspect(start, pid)
+                schedule.unsuspect(start + rng.uniform(5.0, 20.0), pid)
+    if partition_probability > 0 and rng.random() < partition_probability:
+        minority_size = rng.randint(1, len(pids) - majority)
+        minority = rng.sample(list(pids), minority_size)
+        rest = [pid for pid in pids if pid not in minority]
+        start = rng.uniform(horizon * 0.1, horizon * 0.6)
+        schedule.partition(start, [minority, rest])
+        schedule.heal(start + partition_duration)
+    schedule.actions.sort(key=lambda a: a.time)
+    return schedule

@@ -1,0 +1,27 @@
+"""Experiment harness: scenario builder, runner, and table formatting.
+
+:func:`~repro.harness.scenario.run_scenario` assembles a full simulated
+deployment (servers, clients, failure detectors, workload drivers, fault
+schedule) from a declarative :class:`~repro.harness.scenario.ScenarioConfig`,
+runs it to quiescence, and returns a :class:`~repro.harness.scenario.
+ScenarioRun` exposing the trace, the protocol objects and one-call access
+to every correctness checker.  All benchmarks, integration tests and
+examples are built on it.
+"""
+
+from repro.harness.scenario import (
+    ScenarioConfig,
+    ScenarioRun,
+    build_scenario,
+    run_scenario,
+)
+from repro.harness.tables import Table, write_result
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioRun",
+    "Table",
+    "build_scenario",
+    "run_scenario",
+    "write_result",
+]

@@ -1,0 +1,406 @@
+"""Figure-exact reproductions of the paper's illustrative runs.
+
+Each ``run_figure_*`` function builds the precise scenario of the
+corresponding figure -- same group size, same message arrival orders, same
+crash/suspicion timing -- on the deterministic simulator, executes it and
+returns a :class:`FigureRun` whose fields the tests and benchmarks assert
+against the figure's outcome:
+
+* **Figure 1(a)** -- sequencer-based Atomic Broadcast, good run: the
+  replicated stack delivers ``pop`` then ``push(x)`` everywhere; the
+  client's adopted ``pop -> y`` is consistent.
+* **Figure 1(b)** -- sequencer-based Atomic Broadcast, inconsistent run:
+  the sequencer delivers ``pop -> y``, replies, and crashes before its
+  ordering message leaves; the new sequencer orders ``push(x)`` first, so
+  the surviving replicas' ``pop`` returns ``x`` -- the client has adopted
+  a reply that contradicts the service's final state (external
+  inconsistency).
+* **Figure 2** -- OAR, failure-free: two sequencer batches
+  ``{m1;m2}`` and ``{m3;m4;m5}``, everything Opt-delivered, no phase 2.
+* **Figure 3** -- OAR, sequencer crash without Opt-undelivery: the crash
+  leaves only p2 with the ordering of ``{m3;m4}``; since the majority
+  {p1, p2} Opt-delivered m3 before m4, Cnsv-order keeps that order and p3
+  simply A-delivers ``{m3;m4}``.
+* **Figure 4** -- OAR, sequencer crash *with* Opt-undelivery: four
+  servers, only p2 received the ordering of ``{m3;m4}``; p3/p4 (wrongly)
+  suspect p2 as well and the consensus decision excludes p2's optimistic
+  sequence; Cnsv-order returns ``Bad = {m3;m4}``, ``New = {m4;m3}`` at
+  p2, which rolls back and re-delivers in the agreed order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broadcast.sequencer import OrderMsg, SequencerAtomicBroadcastServer
+from repro.core.client import OARClient
+from repro.core.messages import SeqOrder
+from repro.core.server import OARConfig, OARServer
+from repro.failure.detector import ScriptedFailureDetector
+from repro.faults.injection import crash_during_multicast
+from repro.replication.active import FirstReplyClient
+from repro.sim.latency import ConstantLatency, PerLinkLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.sim.trace import TraceLog
+from repro.statemachine import CounterMachine, StackMachine
+
+
+@dataclass
+class FigureRun:
+    """The outcome of one figure-exact scenario."""
+
+    name: str
+    sim: Simulator
+    network: SimNetwork
+    servers: List[Any]
+    clients: List[Any]
+    detectors: Dict[str, ScriptedFailureDetector] = field(default_factory=dict)
+
+    @property
+    def trace(self) -> TraceLog:
+        return self.network.trace
+
+    @property
+    def correct_servers(self) -> List[Any]:
+        return [s for s in self.servers if not s.crashed]
+
+    def server(self, pid: str) -> Any:
+        return next(s for s in self.servers if s.pid == pid)
+
+    def adopted(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for client in self.clients:
+            merged.update(client.adopted)
+        return merged
+
+    def opt_delivered(self, pid: str, epoch: int = 0) -> Tuple[str, ...]:
+        return tuple(
+            event["rid"]
+            for event in self.trace.events(kind="opt_deliver", pid=pid)
+            if event["epoch"] == epoch
+        )
+
+    def a_delivered(self, pid: str, epoch: Optional[int] = None) -> Tuple[str, ...]:
+        return tuple(
+            event["rid"]
+            for event in self.trace.events(kind="a_deliver", pid=pid)
+            if epoch is None or event["epoch"] == epoch
+        )
+
+    def opt_undelivered(self, pid: str) -> Tuple[str, ...]:
+        return tuple(
+            event["rid"]
+            for event in self.trace.events(kind="opt_undeliver", pid=pid)
+        )
+
+
+# ----------------------------------------------------------------------
+# OAR scenarios (Figures 2, 3, 4)
+# ----------------------------------------------------------------------
+
+def _build_oar(
+    n_servers: int,
+    n_clients: int,
+    seed: int,
+    latency: Any = None,
+    config: Optional[OARConfig] = None,
+) -> FigureRun:
+    sim = Simulator(seed=seed)
+    network = SimNetwork(
+        sim, latency=latency or ConstantLatency(1.0), trace_messages=False
+    )
+    group = [f"p{i + 1}" for i in range(n_servers)]
+    detectors: Dict[str, ScriptedFailureDetector] = {}
+    servers: List[OARServer] = []
+    for pid in group:
+        fd = ScriptedFailureDetector()
+        detectors[pid] = fd
+        server = OARServer(
+            pid, group, CounterMachine(), fd, config or OARConfig()
+        )
+        servers.append(server)
+        network.add_process(server)
+    clients: List[OARClient] = []
+    for index in range(n_clients):
+        client = OARClient(f"c{index + 1}", group)
+        clients.append(client)
+        network.add_process(client)
+    network.start_all()
+    return FigureRun(
+        name="oar",
+        sim=sim,
+        network=network,
+        servers=servers,
+        clients=clients,
+        detectors=detectors,
+    )
+
+
+def run_figure_2(seed: int = 0) -> FigureRun:
+    """OAR with no failure nor suspicion (Figure 2).
+
+    Five requests in two sequencer batches ({m1;m2} then {m3;m4;m5});
+    every server Opt-delivers all five in the same order; phase 2 never
+    runs.
+    """
+    run = _build_oar(
+        n_servers=3,
+        n_clients=1,
+        seed=seed,
+        config=OARConfig(batch_interval=2.0),
+    )
+    run.name = "figure2"
+    client = run.clients[0]
+    # First batch arrives before the t=2 ordering tick, second before t=4.
+    run.sim.schedule_at(0.2, lambda: client.submit(("incr",)))  # m1
+    run.sim.schedule_at(0.3, lambda: client.submit(("incr",)))  # m2
+    run.sim.schedule_at(2.2, lambda: client.submit(("incr",)))  # m3
+    run.sim.schedule_at(2.3, lambda: client.submit(("incr",)))  # m4
+    run.sim.schedule_at(2.4, lambda: client.submit(("incr",)))  # m5
+    run.sim.run(until=30.0, max_events=100_000)
+    return run
+
+
+def run_figure_3(seed: int = 0) -> FigureRun:
+    """OAR with the crash of the sequencer, but no Opt-undelivery (Figure 3).
+
+    Three servers.  p1 orders {m1;m2} (delivered everywhere), then orders
+    {m3;m4} but crashes mid-multicast so only p2 receives the ordering.
+    The majority {p1, p2} Opt-delivered m3 before m4, so Cnsv-order
+    returns Bad = ε everywhere; p3 A-delivers {m3;m4}.
+    """
+    run = _build_oar(
+        n_servers=3,
+        n_clients=1,
+        seed=seed,
+        config=OARConfig(batch_interval=2.0, consensus_collect="majority"),
+    )
+    run.name = "figure3"
+    client = run.clients[0]
+    run.sim.schedule_at(0.2, lambda: client.submit(("incr",)))  # m1
+    run.sim.schedule_at(0.3, lambda: client.submit(("incr",)))  # m2
+    run.sim.schedule_at(2.2, lambda: client.submit(("incr",)))  # m3
+    run.sim.schedule_at(2.3, lambda: client.submit(("incr",)))  # m4
+
+    def is_second_batch(payload: Any) -> bool:
+        return isinstance(payload, SeqOrder) and len(payload.rids) == 2 and (
+            payload.rids[0].endswith("-2")
+        )
+
+    crash_during_multicast(
+        run.network, "p1", is_second_batch, deliver_to={"p2"}, crash=True
+    )
+
+    def suspect_p1() -> None:
+        for pid in ("p2", "p3"):
+            run.detectors[pid].force_suspect("p1")
+
+    run.sim.schedule_at(8.0, suspect_p1)
+    run.sim.run(until=60.0, max_events=200_000)
+    return run
+
+
+def run_figure_4(seed: int = 0) -> FigureRun:
+    """OAR with the crash of the sequencer and Opt-undelivery (Figure 4).
+
+    Four servers.  Only p2 receives the ordering of {m3;m4}; the network
+    partitions {p1, p2} away from {p3, p4}, which also wrongly suspect
+    p2.  The Cnsv-order consensus (footnote-5 "unsuspected" estimate
+    collection) decides from p3/p4's proposals only; their merged
+    not-yet-delivered order is {m4;m3}, so p2 must Opt-undeliver m4 and
+    m3 and re-deliver in the agreed order {m4;m3}.
+    """
+    # m3 (from c1) reaches p3 slowly; m4 (from c2) reaches p3 first, so
+    # p3 proposes O_notdelivered = {m4;m3} while p4 proposes {m3;m4}.
+    latency = PerLinkLatency(
+        ConstantLatency(1.0), {("c1", "p3"): ConstantLatency(3.0)}
+    )
+    run = _build_oar(
+        n_servers=4,
+        n_clients=2,
+        seed=seed,
+        latency=latency,
+        config=OARConfig(batch_interval=2.0, consensus_collect="unsuspected"),
+    )
+    run.name = "figure4"
+    c1, c2 = run.clients
+    run.sim.schedule_at(0.20, lambda: c1.submit(("incr",)))  # m1
+    run.sim.schedule_at(0.30, lambda: c2.submit(("incr",)))  # m2
+    run.sim.schedule_at(2.20, lambda: c1.submit(("incr",)))  # m3
+    run.sim.schedule_at(2.25, lambda: c2.submit(("incr",)))  # m4
+
+    def is_second_batch(payload: Any) -> bool:
+        return isinstance(payload, SeqOrder) and len(payload.rids) == 2 and (
+            "c1-1" in payload.rids
+        )
+
+    crash_during_multicast(
+        run.network, "p1", is_second_batch, deliver_to={"p2"}, crash=True
+    )
+
+    def isolate_minority() -> None:
+        run.network.set_partition([
+            ["p1", "p2"],
+            ["p3", "p4", "c1", "c2"],
+        ])
+        # p3 and p4 suspect the whole minority; p2 suspects only p1.
+        for pid in ("p3", "p4"):
+            run.detectors[pid].force_suspect("p1")
+            run.detectors[pid].force_suspect("p2")
+        run.detectors["p2"].force_suspect("p1")
+
+    run.sim.schedule_at(8.0, isolate_minority)
+    run.sim.schedule_at(40.0, run.network.heal)
+    run.sim.run(until=120.0, max_events=400_000)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Sequencer-baseline scenarios (Figure 1)
+# ----------------------------------------------------------------------
+
+def _build_sequencer_stack(
+    seed: int,
+    latency: Any = None,
+) -> FigureRun:
+    sim = Simulator(seed=seed)
+    network = SimNetwork(
+        sim, latency=latency or ConstantLatency(1.0), trace_messages=False
+    )
+    group = ["p1", "p2", "p3"]
+    detectors: Dict[str, ScriptedFailureDetector] = {}
+    servers: List[SequencerAtomicBroadcastServer] = []
+    for pid in group:
+        fd = ScriptedFailureDetector()
+        detectors[pid] = fd
+        machine = StackMachine()
+        machine.apply(("push", "y"))  # the figure's initial stack [y]
+        server = SequencerAtomicBroadcastServer(pid, group, machine, fd)
+        servers.append(server)
+        network.add_process(server)
+    clients: List[FirstReplyClient] = []
+    for cid in ("c1", "c2"):
+        client = FirstReplyClient(cid, group, reliable=False)
+        clients.append(client)
+        network.add_process(client)
+    network.start_all()
+    return FigureRun(
+        name="sequencer-stack",
+        sim=sim,
+        network=network,
+        servers=servers,
+        clients=clients,
+        detectors=detectors,
+    )
+
+
+def run_figure_1a(seed: int = 0) -> FigureRun:
+    """Sequencer-based Atomic Broadcast, good run (Figure 1(a)).
+
+    Initial stack [y].  c2's pop and c1's push(x) are sequenced
+    (pop; push): every replica's pop returns y, the stack ends as [x] --
+    all replies consistent.
+    """
+    run = _build_sequencer_stack(seed=seed)
+    run.name = "figure1a"
+    c1, c2 = run.clients
+    run.sim.schedule_at(0.10, lambda: c2.submit(("pop",)))      # arrives first
+    run.sim.schedule_at(0.30, lambda: c1.submit(("push", "x")))
+    run.sim.run(until=30.0, max_events=100_000)
+    return run
+
+
+def run_figure_1b(seed: int = 0) -> FigureRun:
+    """Sequencer-based Atomic Broadcast, inconsistent run (Figure 1(b)).
+
+    The sequencer p1 delivers pop (reply y to c2), but crashes before its
+    ordering message reaches p2/p3.  The new sequencer p2 orders what it
+    sees -- push(x) first (c2's pop reaches p2 late) -- so p2/p3 deliver
+    (push; pop) and their pop returns x.  The client c2 has already
+    adopted y: an external inconsistency, and the replicas' stacks
+    diverge from p1's.
+    """
+    latency = PerLinkLatency(
+        ConstantLatency(1.0), {("c2", "p2"): ConstantLatency(2.5)}
+    )
+    run = _build_sequencer_stack(seed=seed, latency=latency)
+    run.name = "figure1b"
+    c1, c2 = run.clients
+    pop_rid = "c2-0"
+    run.sim.schedule_at(0.10, lambda: c2.submit(("pop",)))
+    run.sim.schedule_at(0.30, lambda: c1.submit(("push", "x")))
+
+    def is_pop_order(payload: Any) -> bool:
+        return isinstance(payload, OrderMsg) and payload.rid == pop_rid
+
+    crash_during_multicast(
+        run.network, "p1", is_pop_order, deliver_to=set(), crash=True
+    )
+
+    def suspect_p1() -> None:
+        for pid in ("p2", "p3"):
+            run.detectors[pid].force_suspect("p1")
+
+    run.sim.schedule_at(5.0, suspect_p1)
+    run.sim.run(until=40.0, max_events=100_000)
+    return run
+
+
+def run_figure_1b_with_oar(seed: int = 0) -> FigureRun:
+    """The Figure 1(b) scenario executed by OAR instead of the baseline.
+
+    Same service (stack [y]), same request interleaving, same sequencer
+    crash before any ordering escapes, same suspicion timing.  With OAR
+    the client cannot adopt the doomed optimistic reply (its weight stays
+    below majority); it adopts the conservative reply that matches the
+    surviving replicas -- external consistency (Proposition 7).
+    """
+    sim = Simulator(seed=seed)
+    latency = PerLinkLatency(
+        ConstantLatency(1.0), {("c2", "p2"): ConstantLatency(2.5)}
+    )
+    network = SimNetwork(sim, latency=latency)
+    group = ["p1", "p2", "p3"]
+    detectors: Dict[str, ScriptedFailureDetector] = {}
+    servers: List[OARServer] = []
+    for pid in group:
+        fd = ScriptedFailureDetector()
+        detectors[pid] = fd
+        machine = StackMachine()
+        machine.apply(("push", "y"))
+        server = OARServer(pid, group, machine, fd, OARConfig())
+        servers.append(server)
+        network.add_process(server)
+    clients = [OARClient("c1", group), OARClient("c2", group)]
+    for client in clients:
+        network.add_process(client)
+    network.start_all()
+    run = FigureRun(
+        name="figure1b-oar",
+        sim=sim,
+        network=network,
+        servers=servers,
+        clients=clients,
+        detectors=detectors,
+    )
+    c1, c2 = clients
+    pop_rid = "c2-0"
+    sim.schedule_at(0.10, lambda: c2.submit(("pop",)))
+    sim.schedule_at(0.30, lambda: c1.submit(("push", "x")))
+
+    def is_pop_order(payload: Any) -> bool:
+        return isinstance(payload, SeqOrder) and pop_rid in payload.rids
+
+    crash_during_multicast(
+        network, "p1", is_pop_order, deliver_to=set(), crash=True
+    )
+
+    def suspect_p1() -> None:
+        for pid in ("p2", "p3"):
+            detectors[pid].force_suspect("p1")
+
+    sim.schedule_at(5.0, suspect_p1)
+    sim.run(until=60.0, max_events=200_000)
+    return run

@@ -1,0 +1,295 @@
+"""Declarative scenario construction and execution.
+
+A :class:`ScenarioConfig` describes a complete deployment: protocol,
+group size, state machine, latency model, failure detector, workload and
+fault schedule.  :func:`run_scenario` builds it on a fresh deterministic
+simulator, runs it to quiescence (all submitted requests adopted) plus a
+grace period, and returns a :class:`ScenarioRun` with everything the
+checkers, benchmarks and examples need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis import checkers
+from repro.broadcast.ct_abcast import CTAtomicBroadcastServer
+from repro.broadcast.sequencer import SequencerAtomicBroadcastServer
+from repro.core.client import OARClient
+from repro.core.server import OARConfig, OARServer
+from repro.failure.detector import (
+    FailureDetector,
+    HeartbeatFailureDetector,
+    ScriptedFailureDetector,
+)
+from repro.faults.injection import FaultSchedule
+from repro.replication.active import FirstReplyClient
+from repro.replication.passive import PassiveReplicationServer
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.sim.process import Process
+from repro.sim.trace import TraceLog
+from repro.statemachine import (
+    BankMachine,
+    CounterMachine,
+    KVStoreMachine,
+    StackMachine,
+)
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generators import bank_ops, counter_ops, kv_ops, stack_ops
+
+PROTOCOLS = ("oar", "sequencer", "ct", "passive")
+MACHINES = ("counter", "stack", "kv", "bank")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to reproduce one experiment run."""
+
+    protocol: str = "oar"
+    n_servers: int = 3
+    n_clients: int = 1
+    requests_per_client: int = 20
+    machine: str = "counter"
+    seed: int = 0
+
+    #: One-way link delay model; None = constant 1.0 (one phase per hop).
+    latency: Optional[LatencyModel] = None
+
+    #: "heartbeat" (live ◇S implementation) or "scripted" (suspicions are
+    #: injected explicitly -- used by figure-exact scenarios).
+    fd_kind: str = "heartbeat"
+    fd_interval: float = 5.0
+    fd_timeout: float = 15.0
+
+    #: OAR-specific knobs (ignored by other protocols).
+    oar: OARConfig = field(default_factory=OARConfig)
+
+    #: "closed" (latency-oriented) or "open" (Poisson arrivals at
+    #: ``open_rate`` requests/time-unit per client).
+    driver: str = "closed"
+    open_rate: float = 0.2
+    think_time: float = 0.0
+
+    fault_schedule: Optional[FaultSchedule] = None
+
+    #: Hook for surgical fault injection; called with the built
+    #: :class:`ScenarioRun` before the simulation starts (e.g. to arm a
+    #: crash-during-multicast interceptor).
+    arm: Optional[Callable[["ScenarioRun"], None]] = None
+
+    #: Simulated-time and event budget.
+    horizon: float = 10_000.0
+    max_events: int = 2_000_000
+    grace: float = 50.0
+    trace_messages: bool = False
+
+    def with_changes(self, **changes: Any) -> "ScenarioConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ScenarioRun:
+    """A built (and, after ``execute``, completed) scenario."""
+
+    config: ScenarioConfig
+    sim: Simulator
+    network: SimNetwork
+    servers: List[Any]
+    clients: List[Any]
+    drivers: List[Any]
+    detectors: Dict[str, FailureDetector]
+
+    @property
+    def trace(self) -> TraceLog:
+        return self.network.trace
+
+    @property
+    def server_pids(self) -> List[str]:
+        return [server.pid for server in self.servers]
+
+    @property
+    def correct_servers(self) -> List[Any]:
+        return [s for s in self.servers if not s.crashed]
+
+    def submitted_rids(self) -> List[str]:
+        return [rid for driver in self.drivers for rid in driver.submitted]
+
+    def adopted(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for client in self.clients:
+            merged.update(client.adopted)
+        return merged
+
+    def latencies(self) -> List[float]:
+        return [event["latency"] for event in self.trace.events(kind="adopt")]
+
+    def all_done(self) -> bool:
+        return all(driver.done for driver in self.drivers)
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> "ScenarioRun":
+        """Run to quiescence (+ grace period); returns self for chaining."""
+        config = self.config
+        if config.fault_schedule is not None:
+            config.fault_schedule.apply(
+                self.network, list(self.detectors.values())
+            )
+        if config.arm is not None:
+            config.arm(self)
+        deadline = config.horizon
+
+        def finished() -> bool:
+            return self.all_done() or self.sim.now >= deadline
+
+        self.sim.run_until(finished, max_events=config.max_events)
+        # Grace: let replies/settlements in flight land before checking.
+        self.sim.run(until=self.sim.now + config.grace, max_events=config.max_events)
+        return self
+
+    # ------------------------------------------------------------------
+    # Checker bundle
+    # ------------------------------------------------------------------
+
+    def check_all(self, strict: bool = True, at_least_once: bool = True) -> None:
+        """Assert every applicable paper property over this run's trace."""
+        trace = self.trace
+        if self.config.protocol == "oar":
+            checkers.check_cnsv_order_properties(trace, len(self.servers))
+            checkers.check_majority_guarantee(trace, len(self.servers))
+            checkers.check_at_most_once(trace, self.servers)
+            checkers.check_total_order(self.servers)
+            checkers.check_replica_convergence(self.servers)
+            checkers.check_external_consistency(trace, strict=strict)
+            if at_least_once and self.all_done():
+                checkers.check_at_least_once(
+                    trace, self.correct_servers, self.submitted_rids()
+                )
+        else:
+            checkers.check_replica_convergence(self.servers)
+
+
+def _make_machine(kind: str) -> Any:
+    if kind == "counter":
+        return CounterMachine()
+    if kind == "stack":
+        return StackMachine()
+    if kind == "kv":
+        return KVStoreMachine()
+    if kind == "bank":
+        return BankMachine({"alice": 1_000, "bob": 1_000, "carol": 1_000})
+    raise ValueError(f"unknown machine kind: {kind} (choose from {MACHINES})")
+
+
+def _make_ops(kind: str, rng: random.Random) -> Iterator[Tuple[Any, ...]]:
+    if kind == "counter":
+        return counter_ops()
+    if kind == "stack":
+        return stack_ops(rng)
+    if kind == "kv":
+        return kv_ops(rng)
+    if kind == "bank":
+        return bank_ops(rng)
+    raise ValueError(f"unknown machine kind: {kind}")
+
+
+def build_scenario(config: ScenarioConfig) -> ScenarioRun:
+    """Construct (but do not run) the deployment described by ``config``."""
+    if config.protocol not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol: {config.protocol} (choose from {PROTOCOLS})"
+        )
+    sim = Simulator(seed=config.seed)
+    latency = config.latency if config.latency is not None else ConstantLatency(1.0)
+    network = SimNetwork(sim, latency=latency, trace_messages=config.trace_messages)
+
+    group = [f"p{i + 1}" for i in range(config.n_servers)]
+    detectors: Dict[str, FailureDetector] = {}
+
+    def fd_factory(host: Process) -> FailureDetector:
+        if config.fd_kind == "heartbeat":
+            detector: FailureDetector = HeartbeatFailureDetector(
+                host,
+                monitored=group,
+                interval=config.fd_interval,
+                timeout=config.fd_timeout,
+            )
+        elif config.fd_kind == "scripted":
+            detector = ScriptedFailureDetector()
+        else:
+            raise ValueError(f"unknown fd kind: {config.fd_kind}")
+        detectors[host.pid] = detector
+        return detector
+
+    servers: List[Any] = []
+    for pid in group:
+        machine = _make_machine(config.machine)
+        if config.protocol == "oar":
+            server: Any = OARServer(pid, group, machine, fd_factory, config.oar)
+        elif config.protocol == "sequencer":
+            server = SequencerAtomicBroadcastServer(pid, group, machine, fd_factory)
+        elif config.protocol == "ct":
+            server = CTAtomicBroadcastServer(pid, group, machine, fd_factory)
+        else:
+            server = PassiveReplicationServer(pid, group, machine, fd_factory)
+        servers.append(server)
+        network.add_process(server)
+
+    clients: List[Any] = []
+    for index in range(config.n_clients):
+        cid = f"c{index + 1}"
+        if config.protocol == "oar":
+            client: Any = OARClient(cid, group)
+        else:
+            reliable = config.protocol == "ct"
+            client = FirstReplyClient(cid, group, reliable=reliable)
+        clients.append(client)
+        network.add_process(client)
+
+    network.start_all()
+
+    drivers: List[Any] = []
+    for index, client in enumerate(clients):
+        ops_rng = sim.child_rng(f"ops/{client.pid}")
+        ops = _make_ops(config.machine, ops_rng)
+        if config.driver == "closed":
+            driver: Any = ClosedLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                think_time=config.think_time,
+                start_at=0.0,
+            )
+        elif config.driver == "open":
+            driver = OpenLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                rate=config.open_rate,
+                rng=sim.child_rng(f"arrivals/{client.pid}"),
+            )
+        else:
+            raise ValueError(f"unknown driver kind: {config.driver}")
+        drivers.append(driver)
+
+    return ScenarioRun(
+        config=config,
+        sim=sim,
+        network=network,
+        servers=servers,
+        clients=clients,
+        drivers=drivers,
+        detectors=detectors,
+    )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioRun:
+    """Build and execute a scenario; the usual one-call entry point."""
+    return build_scenario(config).execute()

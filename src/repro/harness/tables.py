@@ -1,0 +1,68 @@
+"""Plain-text result tables (the paper-shaped benchmark output)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A fixed-width text table with a title, for benchmark reports."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([_render_cell(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(
+            column.ljust(widths[index]) for index, column in enumerate(self.columns)
+        )
+        rule = "-" * len(header)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def results_dir() -> Path:
+    """Where benchmark reports go (override with REPRO_RESULTS_DIR)."""
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path.cwd() / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_result(name: str, text: str, echo: bool = True) -> Path:
+    """Persist a benchmark report and (by default) print it."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    if echo:
+        print(f"\n{text}\n[report written to {path}]")
+    return path

@@ -1,0 +1,16 @@
+"""Replication techniques (Section 2.1) used as comparison baselines.
+
+* :class:`~repro.replication.active.FirstReplyClient` -- the classic
+  active-replication client: send the request to every replica, adopt the
+  first reply.  Safe over a correct Atomic Broadcast; unsafe over the
+  sequencer baseline (which is the paper's motivating observation).
+* :mod:`repro.replication.passive` -- primary-backup (passive)
+  replication: the primary executes and propagates state updates to the
+  secondaries.  Included for the latency comparison and to exercise the
+  fail-over discussion of Section 2.2.
+"""
+
+from repro.replication.active import FirstReplyClient
+from repro.replication.passive import PassiveReplicationServer
+
+__all__ = ["FirstReplyClient", "PassiveReplicationServer"]

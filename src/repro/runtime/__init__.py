@@ -1,0 +1,22 @@
+"""asyncio runtime: the same protocol code on real (wall-clock) time.
+
+The deterministic simulator answers every correctness question; this
+runtime answers the "does it actually run as a networked program"
+question, and provides the wall-clock latency numbers of benchmark B8.
+Two transports are provided:
+
+* :class:`~repro.runtime.host.AsyncioCluster` -- in-process message
+  passing over asyncio queues with optional injected delay (the honest
+  laptop-scale equivalent of a LAN: the paper's latencies were LAN
+  round-trips, ours are event-loop hops plus the configured delay).
+* :class:`~repro.runtime.tcp.TcpCluster` -- every process is served on a
+  real localhost TCP socket with length-prefixed pickled messages.
+
+Both host the **same** :class:`~repro.sim.process.Process` subclasses as
+the simulator -- the protocol code has no idea which world it lives in.
+"""
+
+from repro.runtime.host import AsyncioCluster, AsyncioEnv
+from repro.runtime.tcp import TcpCluster
+
+__all__ = ["AsyncioCluster", "AsyncioEnv", "TcpCluster"]

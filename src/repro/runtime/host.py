@@ -1,0 +1,196 @@
+"""In-process asyncio host for protocol processes.
+
+Each process gets an inbox queue and a pump task that delivers one
+message at a time (the same mutual-exclusion discipline as the
+simulator).  Sends are queue puts, optionally after a fixed ``link_delay``
+(constant, so FIFO per channel is preserved -- the paper's channel model).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.process import Process, ProcessEnv
+from repro.sim.trace import TraceLog
+
+
+class AsyncioTimerHandle:
+    """Duck-type of :class:`repro.sim.loop.TimerHandle` over asyncio."""
+
+    __slots__ = ("_handle", "cancelled", "fired", "deadline")
+
+    def __init__(self, handle: asyncio.TimerHandle, deadline: float) -> None:
+        self._handle = handle
+        self.cancelled = False
+        self.fired = False
+        self.deadline = deadline
+
+    def cancel(self) -> None:
+        if not self.fired:
+            self.cancelled = True
+            self._handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
+class AsyncioEnv(ProcessEnv):
+    """ProcessEnv implementation backed by an :class:`AsyncioCluster`."""
+
+    def __init__(self, cluster: "AsyncioCluster", pid: str, seed: int) -> None:
+        self._cluster = cluster
+        self._pid = pid
+        self._rng = random.Random(f"{seed}/{pid}")
+
+    @property
+    def pid(self) -> str:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self._cluster.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def peers(self) -> Sequence[str]:
+        return self._cluster.pids
+
+    def send(self, dst: str, payload: Any) -> None:
+        self._cluster.route(self._pid, dst, payload)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> AsyncioTimerHandle:
+        loop = self._cluster.loop
+        deadline = loop.time() + delay
+        handle_box: List[AsyncioTimerHandle] = []
+
+        def fire() -> None:
+            if handle_box:
+                handle_box[0].fired = True
+            if not self._cluster.is_crashed(self._pid):
+                callback()
+
+        timer = loop.call_later(delay, fire)
+        wrapped = AsyncioTimerHandle(timer, deadline)
+        handle_box.append(wrapped)
+        return wrapped
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        self._cluster.trace.record(self._cluster.now, self._pid, kind, **fields)
+
+
+class AsyncioCluster:
+    """Hosts processes on one asyncio event loop with queue transport.
+
+    Usage::
+
+        cluster = AsyncioCluster(link_delay=0.001)
+        cluster.add_process(server); ...
+        async def scenario():
+            await cluster.start()
+            ... submit requests ...
+            await cluster.run_until(lambda: client.outstanding == 0)
+            await cluster.shutdown()
+        asyncio.run(scenario())
+    """
+
+    def __init__(self, link_delay: float = 0.0, seed: int = 0) -> None:
+        self.link_delay = link_delay
+        self.seed = seed
+        self.trace = TraceLog()
+        self._processes: Dict[str, Process] = {}
+        self._inboxes: Dict[str, "asyncio.Queue[Tuple[str, Any]]"] = {}
+        self._pumps: List[asyncio.Task] = []
+        self._crashed: set = set()
+        self._started = False
+        self._epoch = time.monotonic()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return asyncio.get_event_loop()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    @property
+    def pids(self) -> List[str]:
+        return list(self._processes)
+
+    def add_process(self, process: Process) -> None:
+        if self._started:
+            raise RuntimeError("cluster already started")
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate pid: {process.pid}")
+        self._processes[process.pid] = process
+        self._inboxes[process.pid] = asyncio.Queue()
+
+    def is_crashed(self, pid: str) -> bool:
+        return pid in self._crashed
+
+    def crash(self, pid: str) -> None:
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        process = self._processes.get(pid)
+        if process is not None:
+            process.crashed = True
+            process.on_crash()
+        self.trace.record(self.now, pid, "crash")
+
+    # ------------------------------------------------------------------
+
+    def route(self, src: str, dst: str, payload: Any) -> None:
+        if src in self._crashed or dst not in self._inboxes:
+            return
+        if self.link_delay > 0:
+            # Constant delay keeps per-channel FIFO (asyncio call_later
+            # with equal delays fires in scheduling order).
+            asyncio.get_event_loop().call_later(
+                self.link_delay, self._inboxes[dst].put_nowait, (src, payload)
+            )
+        else:
+            self._inboxes[dst].put_nowait((src, payload))
+
+    async def start(self) -> None:
+        self._started = True
+        self._epoch = time.monotonic()
+        for pid, process in self._processes.items():
+            process.start(AsyncioEnv(self, pid, self.seed))
+        for pid in self._processes:
+            self._pumps.append(asyncio.ensure_future(self._pump(pid)))
+
+    async def _pump(self, pid: str) -> None:
+        inbox = self._inboxes[pid]
+        process = self._processes[pid]
+        while True:
+            src, payload = await inbox.get()
+            if pid in self._crashed:
+                continue
+            process.on_message(src, payload)
+
+    async def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 30.0,
+        poll: float = 0.002,
+    ) -> bool:
+        """Poll ``predicate`` until true or ``timeout`` wall-clock seconds."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(poll)
+        return predicate()
+
+    async def shutdown(self) -> None:
+        for pump in self._pumps:
+            pump.cancel()
+        await asyncio.gather(*self._pumps, return_exceptions=True)
+        self._pumps.clear()

@@ -1,0 +1,204 @@
+"""Localhost TCP transport: every process behind a real socket.
+
+Messages are pickled and length-prefixed (4-byte big-endian).  Pickle is
+acceptable here because this transport exists solely for loopback
+benchmarking of our own processes -- it is not a trust boundary.  One
+persistent connection is opened lazily per directed (src, dst) pair; TCP
+ordering gives the FIFO channel property of the paper's model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.runtime.host import AsyncioEnv
+from repro.sim.process import Process
+from repro.sim.trace import TraceLog
+
+_HEADER = struct.Struct(">I")
+
+
+class _TcpEnv(AsyncioEnv):
+    """AsyncioEnv whose sends go through the TCP cluster."""
+
+    def __init__(self, cluster: "TcpCluster", pid: str, seed: int) -> None:
+        super().__init__(cluster, pid, seed)  # type: ignore[arg-type]
+        self._tcp = cluster
+
+    def send(self, dst: str, payload: Any) -> None:
+        self._tcp.send_frame(self.pid, dst, payload)
+
+
+class TcpCluster:
+    """Hosts processes on localhost TCP sockets.
+
+    The API mirrors :class:`~repro.runtime.host.AsyncioCluster`:
+    ``add_process`` everything, ``await start()``, drive the scenario,
+    ``await shutdown()``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.trace = TraceLog()
+        self._processes: Dict[str, Process] = {}
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._writers: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
+        self._writer_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
+        self._inboxes: Dict[str, "asyncio.Queue[Tuple[str, Any]]"] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._crashed: set = set()
+        self._epoch = time.monotonic()
+
+    # -- interface shared with AsyncioCluster (used by AsyncioEnv) -----
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return asyncio.get_event_loop()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    @property
+    def pids(self) -> List[str]:
+        return list(self._processes)
+
+    def is_crashed(self, pid: str) -> bool:
+        return pid in self._crashed
+
+    def crash(self, pid: str) -> None:
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        process = self._processes.get(pid)
+        if process is not None:
+            process.crashed = True
+            process.on_crash()
+        server = self._servers.pop(pid, None)
+        if server is not None:
+            server.close()
+        self.trace.record(self.now, pid, "crash")
+
+    def route(self, src: str, dst: str, payload: Any) -> None:
+        # AsyncioEnv fallback path (not used: _TcpEnv overrides send).
+        self.send_frame(src, dst, payload)
+
+    # ------------------------------------------------------------------
+
+    def add_process(self, process: Process) -> None:
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate pid: {process.pid}")
+        self._processes[process.pid] = process
+        self._inboxes[process.pid] = asyncio.Queue()
+
+    async def start(self) -> None:
+        self._epoch = time.monotonic()
+        for pid in self._processes:
+            server = await asyncio.start_server(
+                self._make_connection_handler(pid), host="127.0.0.1", port=0
+            )
+            self._servers[pid] = server
+            address = server.sockets[0].getsockname()
+            self._addresses[pid] = (address[0], address[1])
+        for pid, process in self._processes.items():
+            process.start(_TcpEnv(self, pid, self.seed))
+        for pid in self._processes:
+            self._tasks.append(asyncio.ensure_future(self._pump(pid)))
+
+    def _make_connection_handler(self, pid: str):
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            try:
+                while True:
+                    header = await reader.readexactly(_HEADER.size)
+                    (length,) = _HEADER.unpack(header)
+                    body = await reader.readexactly(length)
+                    src, payload = pickle.loads(body)
+                    self._inboxes[pid].put_nowait((src, payload))
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+                asyncio.CancelledError,
+            ):
+                # Normal teardown paths: peer closed, or cluster shutdown
+                # cancelled us mid-read.  Returning (rather than
+                # re-raising CancelledError) keeps the streams machinery
+                # from logging spurious tracebacks at shutdown.
+                pass
+            finally:
+                writer.close()
+
+        return handle
+
+    def send_frame(self, src: str, dst: str, payload: Any) -> None:
+        if src in self._crashed or dst not in self._addresses:
+            return
+        asyncio.ensure_future(self._send_frame(src, dst, payload))
+
+    async def _send_frame(self, src: str, dst: str, payload: Any) -> None:
+        key = (src, dst)
+        lock = self._writer_locks.setdefault(key, asyncio.Lock())
+        # The lock both serializes the lazy connect and keeps frames from
+        # interleaving on the stream (FIFO per channel).
+        async with lock:
+            writer = self._writers.get(key)
+            if writer is None or writer.is_closing():
+                if dst in self._crashed:
+                    return
+                host, port = self._addresses[dst]
+                try:
+                    _reader, writer = await asyncio.open_connection(host, port)
+                except OSError:
+                    return  # destination crashed between check and connect
+                self._writers[key] = writer
+            body = pickle.dumps((src, payload))
+            writer.write(_HEADER.pack(len(body)) + body)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                self._writers.pop(key, None)
+
+    async def _pump(self, pid: str) -> None:
+        inbox = self._inboxes[pid]
+        process = self._processes[pid]
+        while True:
+            src, payload = await inbox.get()
+            if pid in self._crashed:
+                continue
+            process.on_message(src, payload)
+
+    async def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 30.0,
+        poll: float = 0.002,
+    ) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(poll)
+        return predicate()
+
+    async def shutdown(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for server in self._servers.values():
+            server.close()
+        for server in list(self._servers.values()):
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        self._servers.clear()

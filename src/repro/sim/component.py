@@ -1,0 +1,76 @@
+"""Sub-protocol components hosted inside a process.
+
+A realistic replica stacks several protocols in one process: the failure
+detector, reliable multicast, consensus, and the replication logic itself.
+Each is implemented as a :class:`Component` that declares which message
+types it consumes; the :class:`ComponentProcess` base dispatches incoming
+messages to the right component.  Handlers still run one at a time
+(the paper's mutual-exclusion task model) because the hosting substrate
+delivers messages sequentially.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple, Type
+
+from repro.sim.process import Process, ProcessEnv
+
+
+class Component:
+    """A sub-protocol living inside a host process.
+
+    Subclasses set ``MESSAGE_TYPES`` to the tuple of payload classes they
+    consume and implement :meth:`on_message`.  They use ``self.env`` (the
+    host's environment) to send messages and set timers.
+    """
+
+    MESSAGE_TYPES: Tuple[Type, ...] = ()
+
+    def __init__(self, host: Process) -> None:
+        self.host = host
+
+    @property
+    def env(self) -> ProcessEnv:
+        env = self.host.env
+        if env is None:
+            raise RuntimeError(f"{type(self).__name__} used before host start")
+        return env
+
+    def start(self) -> None:
+        """Called once from the host's ``on_start``."""
+
+    def on_message(self, src: str, payload: Any) -> None:
+        raise NotImplementedError
+
+    def handles(self, payload: Any) -> bool:
+        return isinstance(payload, self.MESSAGE_TYPES)
+
+
+class ComponentProcess(Process):
+    """A process that routes messages to registered components.
+
+    Messages not claimed by any component go to :meth:`on_app_message`,
+    which the protocol subclass implements.
+    """
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self._components: List[Component] = []
+
+    def add_component(self, component: Component) -> Component:
+        self._components.append(component)
+        return component
+
+    def on_start(self) -> None:
+        for component in self._components:
+            component.start()
+
+    def on_message(self, src: str, payload: Any) -> None:
+        for component in self._components:
+            if component.handles(payload):
+                component.on_message(src, payload)
+                return
+        self.on_app_message(src, payload)
+
+    def on_app_message(self, src: str, payload: Any) -> None:
+        """Handle a message not consumed by any component."""

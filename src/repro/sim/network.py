@@ -1,0 +1,316 @@
+"""Simulated network: reliable FIFO channels, partitions, crash injection.
+
+The channel semantics implement the system model of the paper (Section 3):
+
+* **Reliable** -- a message sent by a process that does not crash is
+  eventually delivered to its destination if the destination does not
+  crash.  Partitions *delay* messages (they are held and released on heal)
+  rather than dropping them, which models asynchrony without violating
+  channel reliability.
+* **FIFO** -- two messages from p to q are delivered in send order.
+  The network enforces this by never scheduling an arrival on a channel
+  earlier than the previously scheduled arrival on that channel.
+* **Crash-stop** -- a crashed process neither sends nor receives; messages
+  already in flight *from* it are still delivered (they left the sender
+  before the crash), messages *to* it are discarded at delivery time.
+
+Fault injection that needs to interact with individual sends (e.g. "crash
+the sequencer so that only p2 receives the ordering message", Figures 3
+and 4) is done through *send interceptors*; see :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.loop import Simulator, TimerHandle
+from repro.sim.process import Process, ProcessEnv
+from repro.sim.trace import TraceLog
+
+#: Interceptor signature: (src, dst, payload) -> deliver?  Returning False
+#: drops the message (used only by fault-injection scenarios; the normal
+#: network never drops).
+SendInterceptor = Callable[[str, str, Any], bool]
+
+
+@dataclass
+class Envelope:
+    """A message in flight."""
+
+    seq: int
+    src: str
+    dst: str
+    payload: Any
+    send_time: float
+
+
+class _SimEnv(ProcessEnv):
+    """The ProcessEnv implementation backed by :class:`SimNetwork`."""
+
+    def __init__(self, network: "SimNetwork", pid: str) -> None:
+        self._network = network
+        self._pid = pid
+        self._rng = network.sim.child_rng(f"proc/{pid}")
+
+    @property
+    def pid(self) -> str:
+        return self._pid
+
+    @property
+    def now(self) -> float:
+        return self._network.sim.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def peers(self) -> Sequence[str]:
+        return self._network.pids
+
+    def send(self, dst: str, payload: Any) -> None:
+        self._network.transmit(self._pid, dst, payload)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return self._network.set_process_timer(self._pid, delay, callback)
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        self._network.trace.record(self._network.sim.now, self._pid, kind, **fields)
+
+
+class SimNetwork:
+    """Hosts processes on a :class:`Simulator` and routes messages.
+
+    Parameters
+    ----------
+    sim:
+        The event loop that drives everything.
+    latency:
+        One-way delay model for all links (default: constant 1.0 -- one
+        simulated time unit per message phase).
+    trace_messages:
+        When True, every send/delivery/drop is recorded in the trace log
+        (useful for figure-exact reproductions; off by default to keep
+        large soak runs cheap).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        trace_messages: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.trace = TraceLog()
+        self.trace_messages = trace_messages
+        self._processes: Dict[str, Process] = {}
+        self._crashed: set = set()
+        self._seq = itertools.count()
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        self._interceptors: List[SendInterceptor] = []
+        self._group_of: Optional[Dict[str, int]] = None
+        self._held: List[Envelope] = []
+        self._messages_sent = 0
+        self._messages_delivered = 0
+        self._rng = sim.child_rng("network")
+
+    # ------------------------------------------------------------------
+    # Registration and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def pids(self) -> List[str]:
+        """All registered process identifiers, in registration order."""
+        return list(self._processes)
+
+    @property
+    def processes(self) -> Dict[str, Process]:
+        return dict(self._processes)
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered
+
+    def add_process(self, process: Process) -> None:
+        """Register a process.  Call :meth:`start_all` (or start it yourself)."""
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate pid: {process.pid}")
+        self._processes[process.pid] = process
+
+    def start_all(self) -> None:
+        """Bind environments and run every process's initialization hook."""
+        for pid, process in self._processes.items():
+            if process.env is None:
+                process.start(_SimEnv(self, pid))
+
+    def start(self, process: Process) -> None:
+        """Register and immediately start one process."""
+        self.add_process(process)
+        process.start(_SimEnv(self, process.pid))
+
+    def process(self, pid: str) -> Process:
+        return self._processes[pid]
+
+    # ------------------------------------------------------------------
+    # Crash injection
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: str) -> None:
+        """Crash ``pid`` now (crash-stop: it never executes again)."""
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        process = self._processes.get(pid)
+        if process is not None:
+            process.crashed = True
+            process.on_crash()
+        self.trace.record(self.sim.now, pid, "crash")
+
+    def crash_at(self, when: float, pid: str) -> TimerHandle:
+        """Schedule a crash of ``pid`` at absolute time ``when``."""
+        return self.sim.schedule_at(when, lambda: self.crash(pid))
+
+    def is_crashed(self, pid: str) -> bool:
+        return pid in self._crashed
+
+    def correct_pids(self) -> List[str]:
+        """Registered processes that have not crashed."""
+        return [p for p in self._processes if p not in self._crashed]
+
+    # ------------------------------------------------------------------
+    # Send interception (fault scripting)
+    # ------------------------------------------------------------------
+
+    def add_interceptor(self, interceptor: SendInterceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: SendInterceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Partition the network into the given groups.
+
+        Messages crossing group boundaries are held and released on
+        :meth:`heal` (delayed, not lost -- channels stay reliable).
+        Processes not named in any group form one implicit extra group.
+        """
+        group_of: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                if pid in group_of:
+                    raise ValueError(f"{pid} appears in two partition groups")
+                group_of[pid] = index
+        self._group_of = group_of
+        self.trace.record(
+            self.sim.now, "*network*", "partition",
+            groups=[sorted(g) for g in map(list, groups)],
+        )
+
+    def heal(self) -> None:
+        """Remove the partition and release all held messages.
+
+        Held messages are released in global send order (their ``seq``):
+        a message that was already in flight when the partition formed
+        was *sent* before anything held at send time, and FIFO is defined
+        by send order.
+        """
+        self._group_of = None
+        held, self._held = self._held, []
+        held.sort(key=lambda envelope: envelope.seq)
+        for envelope in held:
+            self._schedule_delivery(envelope)
+        self.trace.record(self.sim.now, "*network*", "heal", released=len(held))
+
+    def _crosses_partition(self, src: str, dst: str) -> bool:
+        if self._group_of is None:
+            return False
+        return self._group_of.get(src, -1) != self._group_of.get(dst, -1)
+
+    # ------------------------------------------------------------------
+    # Message transmission
+    # ------------------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, payload: Any) -> None:
+        """Route one message.  Called by process environments."""
+        if src in self._crashed:
+            return  # a crashed process cannot send
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination: {dst}")
+        for interceptor in list(self._interceptors):
+            if not interceptor(src, dst, payload):
+                if self.trace_messages:
+                    self.trace.record(
+                        self.sim.now, src, "msg_dropped", dst=dst, payload=payload,
+                    )
+                return
+        self._messages_sent += 1
+        envelope = Envelope(
+            seq=next(self._seq),
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=self.sim.now,
+        )
+        if self.trace_messages:
+            self.trace.record(self.sim.now, src, "msg_send", dst=dst, payload=payload)
+        if self._crosses_partition(src, dst):
+            self._held.append(envelope)
+            return
+        self._schedule_delivery(envelope)
+
+    def _schedule_delivery(self, envelope: Envelope) -> None:
+        delay = self.latency.sample(self._rng, envelope.src, envelope.dst)
+        channel = (envelope.src, envelope.dst)
+        arrival = self.sim.now + delay
+        # FIFO: never deliver before the previously scheduled arrival on
+        # this channel.
+        previous = self._last_arrival.get(channel, 0.0)
+        arrival = max(arrival, previous)
+        self._last_arrival[channel] = arrival
+        self.sim.schedule_at(arrival, lambda: self._deliver(envelope))
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.dst in self._crashed:
+            return
+        if self._crosses_partition(envelope.src, envelope.dst):
+            # A partition formed while the message was in flight: hold it.
+            self._held.append(envelope)
+            return
+        process = self._processes.get(envelope.dst)
+        if process is None:
+            return
+        self._messages_delivered += 1
+        if self.trace_messages:
+            self.trace.record(
+                self.sim.now, envelope.dst, "msg_recv",
+                src=envelope.src, payload=envelope.payload,
+            )
+        process.on_message(envelope.src, envelope.payload)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def set_process_timer(
+        self, pid: str, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        """A timer that is suppressed if its owner has crashed by fire time."""
+
+        def guarded() -> None:
+            if pid not in self._crashed:
+                callback()
+
+        return self.sim.schedule(delay, guarded)

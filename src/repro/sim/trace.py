@@ -1,0 +1,81 @@
+"""Structured trace events.
+
+Every protocol-relevant action (Opt-deliver, A-deliver, Opt-undeliver,
+reply adoption, consensus decision, ...) is recorded as a
+:class:`TraceEvent`.  The correctness checkers in :mod:`repro.analysis`
+operate purely on these traces, which keeps them independent of protocol
+internals and lets them validate both the simulator and the asyncio
+runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped, structured event emitted by a process."""
+
+    time: float
+    pid: str
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:.3f}] {self.pid} {self.kind}({parts})"
+
+
+class TraceLog:
+    """An append-only log of :class:`TraceEvent` with filtering helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def record(self, time: float, pid: str, kind: str, **fields: Any) -> None:
+        self._events.append(TraceEvent(time, pid, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        pid: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """All events, optionally filtered by kind and/or process."""
+        result = self._events
+        if kind is not None:
+            result = [e for e in result if e.kind == kind]
+        if pid is not None:
+            result = [e for e in result if e.pid == pid]
+        return list(result)
+
+    def kinds(self) -> List[str]:
+        """Distinct event kinds present, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self._events:
+            seen.setdefault(event.kind, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering (for debugging and example scripts)."""
+        events = self._events if limit is None else self._events[:limit]
+        return "\n".join(repr(e) for e in events)

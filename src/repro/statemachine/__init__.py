@@ -1,0 +1,38 @@
+"""Deterministic replicated state machines and undo machinery.
+
+Active replication requires servers to be deterministic (Section 2.1), and
+the OAR protocol additionally requires the effects of an optimistically
+processed request to be *undoable* (the ``Opt-undeliver`` primitive,
+Section 4; the transactional discussion in Section 6).
+
+This package provides:
+
+* :class:`~repro.statemachine.base.StateMachine` -- the interface the OAR
+  server programs against.
+* Concrete machines: :class:`~repro.statemachine.stack.StackMachine`
+  (the push/pop service of Figure 1),
+  :class:`~repro.statemachine.kvstore.KVStoreMachine`,
+  :class:`~repro.statemachine.counter.CounterMachine`, and
+  :class:`~repro.statemachine.bank.BankMachine` (the transactional
+  scenario of the paper's conclusion).
+* :class:`~repro.statemachine.undo.UndoLog` -- the save-point stack used
+  by the server to roll back ``Bad`` messages in reverse delivery order
+  (footnote 2 of the paper).
+"""
+
+from repro.statemachine.bank import BankMachine
+from repro.statemachine.base import OpResult, StateMachine
+from repro.statemachine.counter import CounterMachine
+from repro.statemachine.kvstore import KVStoreMachine
+from repro.statemachine.stack import StackMachine
+from repro.statemachine.undo import UndoLog
+
+__all__ = [
+    "BankMachine",
+    "CounterMachine",
+    "KVStoreMachine",
+    "OpResult",
+    "StackMachine",
+    "StateMachine",
+    "UndoLog",
+]

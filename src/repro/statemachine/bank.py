@@ -1,0 +1,137 @@
+"""A transactional bank-accounts state machine.
+
+This is the workload for the transactional scenario sketched in the
+paper's conclusion (Section 6): operations map naturally to transactions
+that can be rolled back when a message is Opt-undelivered -- each
+operation here has an exact O(1) inverse, so an Opt-undeliver is the
+rollback of the corresponding "transaction".
+
+Operations::
+
+    ("open", account)                    -> ok, 0; error if exists
+    ("deposit", account, amount)         -> ok, new balance
+    ("withdraw", account, amount)        -> ok, new balance; error on overdraft
+    ("transfer", src, dst, amount)       -> ok, (src_balance, dst_balance);
+                                            error on overdraft / missing account
+    ("balance", account)                 -> ok, balance; error if missing
+    ("total",)                           -> ok, sum of all balances (invariant probe)
+
+Amounts are integers (cents); negative amounts are rejected
+deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.statemachine.base import OpResult, StateMachine
+
+
+class BankMachine(StateMachine):
+    """Deterministic accounts map with exact inverse operations."""
+
+    def __init__(self, initial_accounts: Dict[str, int] = None) -> None:
+        self._accounts: Dict[str, int] = dict(initial_accounts or {})
+
+    def state(self) -> Dict[str, int]:
+        return self._accounts
+
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        self._accounts = dict(snapshot)
+
+    def fingerprint(self) -> Tuple[Tuple[str, int], ...]:
+        return tuple(sorted(self._accounts.items()))
+
+    def total_balance(self) -> int:
+        """Conserved under deposit-free workloads; used by invariant tests."""
+        return sum(self._accounts.values())
+
+    def apply(self, op: Tuple[Any, ...]) -> OpResult:
+        result, _undo = self.apply_with_undo(op)
+        return result
+
+    def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        name = op[0] if op else None
+
+        if name == "open" and len(op) == 2:
+            account = op[1]
+            if account in self._accounts:
+                return OpResult(ok=False, error=f"open: {account} exists"), _noop
+            self._accounts[account] = 0
+
+            def undo_open() -> None:
+                self._accounts.pop(account, None)
+
+            return OpResult(ok=True, value=0), undo_open
+
+        if name == "deposit" and len(op) == 3:
+            account, amount = op[1], op[2]
+            error = self._check(account, amount)
+            if error:
+                return error, _noop
+            self._accounts[account] += amount
+            return (
+                OpResult(ok=True, value=self._accounts[account]),
+                self._make_adjust(account, -amount),
+            )
+
+        if name == "withdraw" and len(op) == 3:
+            account, amount = op[1], op[2]
+            error = self._check(account, amount)
+            if error:
+                return error, _noop
+            if self._accounts[account] < amount:
+                return OpResult(ok=False, error=f"withdraw: overdraft on {account}"), _noop
+            self._accounts[account] -= amount
+            return (
+                OpResult(ok=True, value=self._accounts[account]),
+                self._make_adjust(account, amount),
+            )
+
+        if name == "transfer" and len(op) == 4:
+            src, dst, amount = op[1], op[2], op[3]
+            error = self._check(src, amount) or self._check(dst, amount)
+            if error:
+                return error, _noop
+            if self._accounts[src] < amount:
+                return OpResult(ok=False, error=f"transfer: overdraft on {src}"), _noop
+            self._accounts[src] -= amount
+            self._accounts[dst] += amount
+
+            def undo_transfer() -> None:
+                self._accounts[src] += amount
+                self._accounts[dst] -= amount
+
+            return (
+                OpResult(ok=True, value=(self._accounts[src], self._accounts[dst])),
+                undo_transfer,
+            )
+
+        if name == "balance" and len(op) == 2:
+            account = op[1]
+            if account not in self._accounts:
+                return OpResult(ok=False, error=f"balance: no account {account}"), _noop
+            return OpResult(ok=True, value=self._accounts[account]), _noop
+
+        if name == "total" and len(op) == 1:
+            return OpResult(ok=True, value=self.total_balance()), _noop
+
+        return self.bad_op(op), _noop
+
+    def _check(self, account: str, amount: Any) -> OpResult:
+        """Shared precondition checks; returns an error result or None."""
+        if account not in self._accounts:
+            return OpResult(ok=False, error=f"no account {account}")
+        if not isinstance(amount, int) or amount < 0:
+            return OpResult(ok=False, error=f"bad amount {amount!r}")
+        return None
+
+    def _make_adjust(self, account: str, delta: int) -> Callable[[], None]:
+        def undo() -> None:
+            self._accounts[account] += delta
+
+        return undo
+
+
+def _noop() -> None:
+    """Undo of a read-only or failed operation."""

@@ -1,0 +1,79 @@
+"""The state-machine interface used by all replication protocols here.
+
+Operations are plain tuples, e.g. ``("push", "x")`` or ``("transfer",
+"alice", "bob", 25)``.  Results are :class:`OpResult` values.  A state
+machine must be **deterministic**: the result and the post-state depend
+only on the pre-state and the operation.  Errors (unknown operation,
+failed precondition) are *returned*, never raised, because an exception at
+one replica but not another would be non-determinism.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """The deterministic outcome of applying one operation.
+
+    ``ok`` is False for failed preconditions (e.g. pop of an empty stack,
+    overdraft) -- a *valid* outcome that all replicas agree on, not an
+    exception.
+    """
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"OpResult(ok, {self.value!r})"
+        return f"OpResult(err, {self.error!r})"
+
+
+class StateMachine:
+    """Base class for deterministic, undoable state machines."""
+
+    def apply(self, op: Tuple[Any, ...]) -> OpResult:
+        """Apply ``op`` and return its result.  Must be deterministic."""
+        raise NotImplementedError
+
+    def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        """Apply ``op`` and also return a closure that undoes it.
+
+        The default implementation snapshots the whole state, which is
+        always correct; subclasses override it with O(1) inverse
+        operations where possible (see :class:`~repro.statemachine.bank.
+        BankMachine`).
+        """
+        snapshot = self.snapshot()
+        result = self.apply(op)
+
+        def undo() -> None:
+            self.restore(snapshot)
+
+        return result, undo
+
+    def snapshot(self) -> Any:
+        """An opaque, deep copy of the current state."""
+        return copy.deepcopy(self.state())
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the current state with a snapshot."""
+        raise NotImplementedError
+
+    def state(self) -> Any:
+        """The raw state object (read-only use by tests/checkers)."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> Any:
+        """A hashable digest of the state, for replica-equality checks."""
+        return repr(self.state())
+
+    @staticmethod
+    def bad_op(op: Tuple[Any, ...]) -> OpResult:
+        """The deterministic result for an unrecognized operation."""
+        return OpResult(ok=False, error=f"unknown operation: {op!r}")

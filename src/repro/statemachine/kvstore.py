@@ -1,0 +1,92 @@
+"""A deterministic replicated key-value store.
+
+Operations::
+
+    ("set", key, value)        -> ok, previous value (or None)
+    ("get", key)               -> ok, value; error if absent
+    ("delete", key)            -> ok, removed value; error if absent
+    ("cas", key, old, new)     -> ok, True on success; ok, False on mismatch
+    ("keys",)                  -> ok, sorted tuple of keys
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.statemachine.base import OpResult, StateMachine
+
+_ABSENT = object()  # sentinel: key had no previous binding
+
+
+class KVStoreMachine(StateMachine):
+    """Hash-map state machine with O(1) inverse operations."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+
+    def state(self) -> Dict[Any, Any]:
+        return self._data
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        self._data = dict(snapshot)
+
+    def fingerprint(self) -> Tuple[Tuple[Any, Any], ...]:
+        return tuple(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+
+    def apply(self, op: Tuple[Any, ...]) -> OpResult:
+        result, _undo = self.apply_with_undo(op)
+        return result
+
+    def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        name = op[0] if op else None
+
+        if name == "set" and len(op) == 3:
+            _key, key, value = op[0], op[1], op[2]
+            previous = self._data.get(key, _ABSENT)
+            self._data[key] = value
+            return (
+                OpResult(ok=True, value=None if previous is _ABSENT else previous),
+                self._make_restore(key, previous),
+            )
+
+        if name == "get" and len(op) == 2:
+            key = op[1]
+            if key not in self._data:
+                return OpResult(ok=False, error=f"get: no such key {key!r}"), _noop
+            return OpResult(ok=True, value=self._data[key]), _noop
+
+        if name == "delete" and len(op) == 2:
+            key = op[1]
+            if key not in self._data:
+                return OpResult(ok=False, error=f"delete: no such key {key!r}"), _noop
+            previous = self._data.pop(key)
+            return OpResult(ok=True, value=previous), self._make_restore(key, previous)
+
+        if name == "cas" and len(op) == 4:
+            key, old, new = op[1], op[2], op[3]
+            current = self._data.get(key, _ABSENT)
+            if current is _ABSENT or current != old:
+                return OpResult(ok=True, value=False), _noop
+            self._data[key] = new
+            return OpResult(ok=True, value=True), self._make_restore(key, old)
+
+        if name == "keys" and len(op) == 1:
+            return (
+                OpResult(ok=True, value=tuple(sorted(self._data, key=repr))),
+                _noop,
+            )
+
+        return self.bad_op(op), _noop
+
+    def _make_restore(self, key: Any, previous: Any) -> Callable[[], None]:
+        def undo() -> None:
+            if previous is _ABSENT:
+                self._data.pop(key, None)
+            else:
+                self._data[key] = previous
+
+        return undo
+
+
+def _noop() -> None:
+    """Undo of a read-only or failed operation."""

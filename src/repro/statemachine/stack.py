@@ -1,0 +1,72 @@
+"""The replicated stack of Figure 1 (push/pop service).
+
+This is the service the paper uses to illustrate the external
+inconsistency of the plain sequencer-based Atomic Broadcast: interleaved
+``push(x)`` and ``pop()`` requests whose results depend on the delivery
+order.  Operations::
+
+    ("push", value)  -> ok, value pushed (returns None, like the figure's '-')
+    ("pop",)         -> ok, top value; error on empty stack
+    ("top",)         -> ok, top value without removing; error on empty
+    ("size",)        -> ok, number of elements
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.statemachine.base import OpResult, StateMachine
+
+
+class StackMachine(StateMachine):
+    """A deterministic LIFO stack with O(1) inverse operations."""
+
+    def __init__(self) -> None:
+        self._stack: List[Any] = []
+
+    def state(self) -> List[Any]:
+        return self._stack
+
+    def restore(self, snapshot: List[Any]) -> None:
+        self._stack = list(snapshot)
+
+    def fingerprint(self) -> Tuple[Any, ...]:
+        return tuple(self._stack)
+
+    def apply(self, op: Tuple[Any, ...]) -> OpResult:
+        result, _undo = self.apply_with_undo(op)
+        return result
+
+    def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        name = op[0] if op else None
+        if name == "push" and len(op) == 2:
+            self._stack.append(op[1])
+
+            def undo_push() -> None:
+                self._stack.pop()
+
+            return OpResult(ok=True, value=None), undo_push
+
+        if name == "pop" and len(op) == 1:
+            if not self._stack:
+                return OpResult(ok=False, error="pop: empty stack"), _noop
+            value = self._stack.pop()
+
+            def undo_pop() -> None:
+                self._stack.append(value)
+
+            return OpResult(ok=True, value=value), undo_pop
+
+        if name == "top" and len(op) == 1:
+            if not self._stack:
+                return OpResult(ok=False, error="top: empty stack"), _noop
+            return OpResult(ok=True, value=self._stack[-1]), _noop
+
+        if name == "size" and len(op) == 1:
+            return OpResult(ok=True, value=len(self._stack)), _noop
+
+        return self.bad_op(op), _noop
+
+
+def _noop() -> None:
+    """Undo of a read-only or failed operation."""

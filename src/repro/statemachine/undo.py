@@ -1,0 +1,55 @@
+"""The undo log used by the OAR server for ``Opt-undeliver``.
+
+Each optimistic delivery pushes an entry; ``Opt-undeliver`` pops entries
+in reverse delivery order (the paper's footnote 2: "undelivery of messages
+should generally be performed in the reverse order of delivery").  When an
+epoch settles (end of phase 2), the log is cleared: A-delivered and Good
+messages can never be undone (Section 4).
+
+This is exactly the save-point discipline the conclusion (Section 6)
+describes for transactional environments: one save-point per optimistic
+delivery, rollback for ``Bad``, commit for ``Good``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+
+class UndoLog:
+    """A LIFO log of (tag, undo_closure) entries."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[str, Callable[[], None]]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def tags(self) -> List[str]:
+        """Tags of pending entries, oldest first."""
+        return [tag for tag, _undo in self._entries]
+
+    def push(self, tag: str, undo: Callable[[], None]) -> None:
+        """Record that ``tag`` (a request id) was applied and can be undone."""
+        self._entries.append((tag, undo))
+
+    def undo_last(self, expected_tag: str) -> None:
+        """Undo the most recent entry, verifying it matches ``expected_tag``.
+
+        The OAR server only ever undoes a *suffix* of the delivered
+        sequence (undo-legality property), so out-of-order undo indicates
+        a protocol bug -- fail loudly rather than corrupt state.
+        """
+        if not self._entries:
+            raise RuntimeError(f"undo of {expected_tag!r} with empty undo log")
+        tag, undo = self._entries.pop()
+        if tag != expected_tag:
+            raise RuntimeError(
+                f"out-of-order undo: expected {expected_tag!r}, found {tag!r}"
+            )
+        undo()
+
+    def commit(self) -> None:
+        """Settle all pending entries (end of epoch): they can never be undone."""
+        self._entries.clear()

@@ -1,0 +1,24 @@
+"""Workload generation: operation streams and client drivers.
+
+Operation generators produce deterministic, seeded streams of state-
+machine operations; drivers submit them through client processes either
+closed-loop (next request upon adoption -- the latency-oriented pattern)
+or open-loop (Poisson arrivals -- the throughput-oriented pattern).
+"""
+
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generators import (
+    bank_ops,
+    counter_ops,
+    kv_ops,
+    stack_ops,
+)
+
+__all__ = [
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "bank_ops",
+    "counter_ops",
+    "kv_ops",
+    "stack_ops",
+]

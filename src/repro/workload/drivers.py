@@ -1,0 +1,112 @@
+"""Client drivers: closed-loop and open-loop request submission.
+
+Drivers wrap a client process (OAR or first-reply) and a workload
+generator; they interact with the client only through its public
+``submit`` / ``on_adopt`` interface, so any client works with any driver.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.sim.loop import Simulator
+
+Op = Tuple[Any, ...]
+
+
+class ClosedLoopDriver:
+    """Submit one request; on adoption, submit the next, ``total`` times.
+
+    ``think_time`` adds a pause between adoption and the next submission
+    (0 = back-to-back, the latency-measurement pattern).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Any,
+        ops: Iterator[Op],
+        total: int,
+        think_time: float = 0.0,
+        start_at: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.ops = ops
+        self.remaining = total
+        self.think_time = think_time
+        self.submitted: List[str] = []
+        previous = client.on_adopt
+
+        def chained(adopted: Any) -> None:
+            if previous is not None:
+                previous(adopted)
+            self._on_adopt(adopted)
+
+        client.on_adopt = chained
+        sim.schedule_at(start_at, self._submit_next)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining == 0 and self.client.outstanding == 0
+
+    def _submit_next(self) -> None:
+        if self.remaining == 0:
+            return
+        self.remaining -= 1
+        op = next(self.ops)
+        self.submitted.append(self.client.submit(op))
+
+    def _on_adopt(self, _adopted: Any) -> None:
+        if self.remaining == 0:
+            return
+        if self.think_time > 0:
+            self.sim.schedule(self.think_time, self._submit_next)
+        else:
+            self.sim.call_soon(self._submit_next)
+
+
+class OpenLoopDriver:
+    """Poisson arrivals at ``rate`` requests per time unit, ``total`` requests.
+
+    Submissions do not wait for adoptions; this is the throughput /
+    saturation pattern (benchmark B5).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Any,
+        ops: Iterator[Op],
+        total: int,
+        rate: float,
+        rng: Optional[random.Random] = None,
+        start_at: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.client = client
+        self.ops = ops
+        self.remaining = total
+        self.rate = rate
+        self.rng = rng or random.Random(0)
+        self.submitted: List[str] = []
+        sim.schedule_at(start_at + self._gap(), self._submit_next)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining == 0 and self.client.outstanding == 0
+
+    def _gap(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+    def _submit_next(self) -> None:
+        if self.remaining == 0:
+            return
+        self.remaining -= 1
+        op = next(self.ops)
+        self.submitted.append(self.client.submit(op))
+        if self.remaining > 0:
+            self.sim.schedule(self._gap(), self._submit_next)

@@ -1,0 +1,74 @@
+"""Deterministic operation-stream generators for the bundled state machines.
+
+Each generator is an infinite iterator of operation tuples, fully
+determined by the random generator passed in, so a scenario seed pins the
+entire workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Iterator, Sequence, Tuple
+
+Op = Tuple[Any, ...]
+
+
+def counter_ops() -> Iterator[Op]:
+    """An endless stream of increments (the order-revealing workload)."""
+    while True:
+        yield ("incr",)
+
+
+def stack_ops(rng: random.Random, push_bias: float = 0.6) -> Iterator[Op]:
+    """The Figure 1 workload: interleaved push(x) / pop().
+
+    ``push_bias`` keeps the stack from being empty most of the time, so
+    pops usually return a value and order sensitivity stays high (a pop
+    of an empty stack returns the same error everywhere, hiding order
+    differences).
+    """
+    counter = itertools.count()
+    while True:
+        if rng.random() < push_bias:
+            yield ("push", f"x{next(counter)}")
+        else:
+            yield ("pop",)
+
+
+def kv_ops(
+    rng: random.Random,
+    keys: Sequence[str] = ("a", "b", "c", "d"),
+    write_ratio: float = 0.7,
+) -> Iterator[Op]:
+    """Mixed reads/writes/cas over a small hot key set."""
+    counter = itertools.count()
+    while True:
+        key = rng.choice(list(keys))
+        roll = rng.random()
+        if roll < write_ratio * 0.8:
+            yield ("set", key, f"v{next(counter)}")
+        elif roll < write_ratio:
+            yield ("cas", key, f"v{next(counter)}", f"v{next(counter)}")
+        else:
+            yield ("get", key)
+
+
+def bank_ops(
+    rng: random.Random,
+    accounts: Sequence[str] = ("alice", "bob", "carol"),
+    transfer_ratio: float = 0.6,
+) -> Iterator[Op]:
+    """Transfers/deposits/withdrawals; order-sensitive via overdraft checks."""
+    accounts = list(accounts)
+    while True:
+        roll = rng.random()
+        if roll < transfer_ratio:
+            src, dst = rng.sample(accounts, 2)
+            yield ("transfer", src, dst, rng.randint(1, 50))
+        elif roll < transfer_ratio + 0.2:
+            yield ("deposit", rng.choice(accounts), rng.randint(1, 100))
+        elif roll < transfer_ratio + 0.35:
+            yield ("withdraw", rng.choice(accounts), rng.randint(1, 80))
+        else:
+            yield ("balance", rng.choice(accounts))

@@ -1,0 +1,19 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.latency import ConstantLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> SimNetwork:
+    return SimNetwork(sim, latency=ConstantLatency(1.0))

@@ -1,0 +1,122 @@
+"""Integration: OAR in failure-free runs (the optimistic fast path)."""
+
+import pytest
+
+from repro.harness import ScenarioConfig, run_scenario
+from repro.sim.latency import LanProfile, UniformLatency
+
+
+class TestFastPath:
+    @pytest.mark.parametrize("n_servers", [3, 4, 5, 7])
+    def test_all_requests_adopted_and_consistent(self, n_servers):
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=n_servers,
+                n_clients=2,
+                requests_per_client=10,
+                seed=n_servers,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        assert len(run.adopted()) == 20
+
+    def test_no_phase2_without_suspicion(self):
+        run = run_scenario(ScenarioConfig(requests_per_client=15, seed=1))
+        assert run.trace.events(kind="phase2_start") == []
+        assert run.trace.events(kind="opt_undeliver") == []
+        for server in run.servers:
+            assert server.epoch == 0
+
+    def test_all_adoptions_optimistic(self):
+        run = run_scenario(ScenarioConfig(requests_per_client=10, seed=2))
+        for adoption in run.trace.events(kind="adopt"):
+            assert not adoption["conservative"]
+
+    def test_latency_is_three_phases(self):
+        # Constant unit latency, no contention: request (1) + ordering (1)
+        # + reply (1) = 3.  The sequencer's own reply takes 2 but carries
+        # weight 1, so adoption waits for a 3-phase weight-2 reply.
+        run = run_scenario(ScenarioConfig(requests_per_client=10, seed=3))
+        latencies = run.latencies()
+        assert all(abs(latency - 3.0) < 1e-9 for latency in latencies)
+
+    def test_replicas_converge_to_same_state(self):
+        run = run_scenario(
+            ScenarioConfig(machine="bank", requests_per_client=25, seed=4)
+        )
+        run.check_all()
+        fingerprints = {repr(s.machine.fingerprint()) for s in run.servers}
+        assert len(fingerprints) == 1
+
+    @pytest.mark.parametrize("machine", ["counter", "stack", "kv", "bank"])
+    def test_every_state_machine_replicates(self, machine):
+        run = run_scenario(
+            ScenarioConfig(machine=machine, requests_per_client=15, seed=5)
+        )
+        assert run.all_done()
+        run.check_all()
+
+    def test_many_clients_interleave_consistently(self):
+        run = run_scenario(
+            ScenarioConfig(
+                n_clients=6, requests_per_client=5, machine="counter", seed=6
+            )
+        )
+        run.check_all()
+        # Counter results reveal positions: the adopted values must be a
+        # permutation of 1..30 (each request got a distinct position).
+        values = sorted(a.value.value for a in run.adopted().values())
+        assert values == list(range(1, 31))
+
+    def test_jittery_network_keeps_correctness(self):
+        run = run_scenario(
+            ScenarioConfig(
+                latency=UniformLatency(0.2, 2.5),
+                requests_per_client=20,
+                n_clients=2,
+                seed=7,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+
+    def test_lan_profile_with_spikes(self):
+        run = run_scenario(
+            ScenarioConfig(
+                latency=LanProfile(base=1.0, jitter=0.2, spike_probability=0.05),
+                requests_per_client=20,
+                seed=8,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+
+
+class TestBatching:
+    def test_batch_interval_groups_requests(self):
+        run = run_scenario(
+            ScenarioConfig(
+                requests_per_client=10,
+                n_clients=3,
+                oar=__import__("repro.core.server", fromlist=["OARConfig"]).OARConfig(
+                    batch_interval=5.0
+                ),
+                seed=9,
+                horizon=2_000.0,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        orders = run.trace.events(kind="seq_order")
+        # Batching must produce fewer ordering messages than requests.
+        assert len(orders) < 30
+        assert any(len(order["rids"]) > 1 for order in orders)
+
+    def test_deterministic_replay(self):
+        config = ScenarioConfig(requests_per_client=12, n_clients=2, seed=10)
+        run_a = run_scenario(config)
+        run_b = run_scenario(ScenarioConfig(requests_per_client=12, n_clients=2, seed=10))
+        trace_a = [(e.time, e.pid, e.kind) for e in run_a.trace]
+        trace_b = [(e.time, e.pid, e.kind) for e in run_b.trace]
+        assert trace_a == trace_b

@@ -1,0 +1,189 @@
+"""Integration: wrong suspicions, partitions, and epoch recovery in OAR."""
+
+import pytest
+
+from repro.core.server import OARConfig
+from repro.faults import FaultSchedule
+from repro.harness import ScenarioConfig, run_scenario
+
+
+class TestWrongSuspicion:
+    def test_wrongly_suspected_sequencer_stays_consistent(self):
+        # The sequencer is alive the whole time but suspected for a
+        # window: phase 2 runs, the epoch rotates, and everything is
+        # still exactly-once and externally consistent.
+        schedule = (
+            FaultSchedule().suspect(8.0, "p1").unsuspect(25.0, "p1")
+        )
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=2,
+                requests_per_client=10,
+                fd_kind="scripted",
+                fault_schedule=schedule,
+                grace=120.0,
+                seed=1,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        assert not run.servers[0].crashed
+        assert run.trace.events(kind="phase2_start")
+
+    def test_repeated_wrong_suspicions(self):
+        schedule = FaultSchedule()
+        for round_number in range(3):
+            start = 8.0 + round_number * 20.0
+            schedule.suspect(start, "p1").unsuspect(start + 6.0, "p1")
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=2,
+                requests_per_client=12,
+                fd_kind="scripted",
+                fault_schedule=schedule,
+                grace=200.0,
+                seed=2,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+
+    def test_suspicion_of_rotated_sequencer(self):
+        # Epoch 0's sequencer is suspected, then epoch 1's new sequencer
+        # is suspected too: two conservative phases back to back.
+        schedule = (
+            FaultSchedule()
+            .suspect(8.0, "p1")
+            .suspect(30.0, "p2")
+            .unsuspect(60.0, "p1")
+            .unsuspect(60.0, "p2")
+        )
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=1,
+                requests_per_client=10,
+                fd_kind="scripted",
+                fault_schedule=schedule,
+                grace=200.0,
+                seed=3,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        epochs = {e["epoch"] for e in run.trace.events(kind="phase2_start")}
+        assert len(epochs) >= 2
+
+
+class TestPartitions:
+    def test_minority_partition_heals_consistently(self):
+        # p3 is cut off (with the sequencer p1 and p2 in the majority):
+        # service continues; p3 catches up after healing.
+        schedule = (
+            FaultSchedule()
+            .partition(10.0, [["p3"], ["p1", "p2", "c1", "c2"]])
+            .suspect(12.0, "p3")
+            .heal(40.0)
+            .unsuspect(45.0, "p3")
+        )
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=2,
+                requests_per_client=10,
+                fd_kind="scripted",
+                fault_schedule=schedule,
+                grace=200.0,
+                seed=4,
+            )
+        )
+        assert run.all_done()
+        run.check_all(strict=False)
+
+    def test_sequencer_in_minority_partition(self):
+        # The sequencer lands in the minority: the majority side runs
+        # phase 2 and rotates; after healing the old sequencer's epoch-0
+        # optimism is reconciled (possibly via Opt-undeliver).
+        schedule = (
+            FaultSchedule()
+            .partition(6.0, [["p1"], ["p2", "p3", "c1", "c2"]])
+            .suspect(8.0, "p1")
+            .heal(40.0)
+            .unsuspect(50.0, "p1")
+        )
+        run = run_scenario(
+            ScenarioConfig(
+                n_servers=3,
+                n_clients=2,
+                requests_per_client=8,
+                fd_kind="scripted",
+                fault_schedule=schedule,
+                grace=300.0,
+                seed=5,
+            )
+        )
+        assert run.all_done()
+        run.check_all(strict=False)
+
+
+class TestPhaseIIGarbageCollection:
+    """The Remark of Section 5.3: periodic PhaseII bounds O_delivered."""
+
+    def test_gc_after_requests_settles_epochs(self):
+        run = run_scenario(
+            ScenarioConfig(
+                requests_per_client=20,
+                n_clients=1,
+                oar=OARConfig(gc_after_requests=5),
+                grace=200.0,
+                seed=6,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        gc_phases = [
+            e for e in run.trace.events(kind="phase2_start")
+            if e["reason"] == "gc"
+        ]
+        assert len(gc_phases) >= 3
+        # Settled state: epochs advanced without any failure.
+        assert all(server.epoch >= 3 for server in run.servers)
+        # Nothing was ever undone: GC phase 2 only confirms the optimism.
+        assert run.trace.events(kind="opt_undeliver") == []
+
+    def test_gc_interval_variant(self):
+        run = run_scenario(
+            ScenarioConfig(
+                requests_per_client=15,
+                n_clients=1,
+                think_time=2.0,
+                oar=OARConfig(gc_interval=10.0),
+                grace=200.0,
+                horizon=2_000.0,
+                seed=7,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        assert any(
+            e["reason"] == "gc" for e in run.trace.events(kind="phase2_start")
+        )
+
+    def test_gc_bounds_o_delivered_length(self):
+        run = run_scenario(
+            ScenarioConfig(
+                requests_per_client=30,
+                n_clients=1,
+                oar=OARConfig(gc_after_requests=5),
+                grace=200.0,
+                seed=8,
+            )
+        )
+        proposals = run.trace.events(kind="cnsv_propose")
+        assert proposals
+        max_len = max(len(p["o_delivered"]) for p in proposals)
+        # Each consensus input stays near the GC threshold instead of
+        # growing with the whole history (30 requests).
+        assert max_len <= 10

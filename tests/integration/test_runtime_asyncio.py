@@ -1,0 +1,163 @@
+"""Integration: the same OAR protocol code on the asyncio runtimes."""
+
+import asyncio
+from typing import List, Tuple
+
+import pytest
+
+from repro.analysis import checkers
+from repro.core.client import OARClient
+from repro.core.server import OARConfig, OARServer
+from repro.failure.detector import HeartbeatFailureDetector
+from repro.runtime import AsyncioCluster, TcpCluster
+from repro.statemachine import CounterMachine
+
+
+def build_cluster(cluster, n_servers: int = 3, fd_interval: float = 0.2,
+                  fd_timeout: float = 1.0) -> Tuple[List[OARServer], OARClient]:
+    group = [f"p{i + 1}" for i in range(n_servers)]
+    servers = []
+    for pid in group:
+        server = OARServer(
+            pid,
+            group,
+            CounterMachine(),
+            lambda host: HeartbeatFailureDetector(
+                host, group, interval=fd_interval, timeout=fd_timeout
+            ),
+            OARConfig(),
+        )
+        servers.append(server)
+        cluster.add_process(server)
+    client = OARClient("c1", group)
+    cluster.add_process(client)
+    return servers, client
+
+
+async def closed_loop(cluster, client, total: int, timeout: float = 20.0) -> bool:
+    submitted = {"n": 0}
+
+    def submit_next(_adopted=None) -> None:
+        if submitted["n"] < total:
+            submitted["n"] += 1
+            client.submit(("incr",))
+
+    client.on_adopt = submit_next
+    await cluster.start()
+    submit_next()
+    return await cluster.run_until(
+        lambda: len(client.adopted) >= total, timeout=timeout
+    )
+
+
+class TestInMemoryRuntime:
+    def test_failure_free_run(self):
+        async def scenario():
+            cluster = AsyncioCluster(link_delay=0.001)
+            servers, client = build_cluster(cluster)
+            done = await closed_loop(cluster, client, total=15)
+            await cluster.shutdown()
+            return cluster, servers, client, done
+
+        cluster, servers, client, done = asyncio.run(scenario())
+        assert done
+        assert len(client.adopted) == 15
+        values = sorted(a.value.value for a in client.adopted.values())
+        assert values == list(range(1, 16))
+        checkers.check_total_order(servers)
+        checkers.check_replica_convergence(servers)
+        checkers.check_external_consistency(cluster.trace, strict=False)
+        checkers.check_majority_guarantee(cluster.trace, len(servers))
+
+    def test_sequencer_crash_failover(self):
+        async def scenario():
+            cluster = AsyncioCluster(link_delay=0.001)
+            servers, client = build_cluster(
+                cluster, fd_interval=0.05, fd_timeout=0.25
+            )
+            submitted = {"n": 0}
+
+            def submit_next(_adopted=None) -> None:
+                if submitted["n"] < 12:
+                    submitted["n"] += 1
+                    client.submit(("incr",))
+
+            client.on_adopt = submit_next
+            await cluster.start()
+            submit_next()
+            await cluster.run_until(lambda: len(client.adopted) >= 4, timeout=10)
+            cluster.crash("p1")
+            done = await cluster.run_until(
+                lambda: len(client.adopted) >= 12, timeout=20
+            )
+            await cluster.shutdown()
+            return cluster, servers, client, done
+
+        cluster, servers, client, done = asyncio.run(scenario())
+        assert done
+        survivors = [s for s in servers if not s.crashed]
+        checkers.check_total_order(survivors)
+        checkers.check_replica_convergence(survivors)
+        checkers.check_external_consistency(cluster.trace, strict=False)
+        assert all(server.epoch >= 1 for server in survivors)
+
+    def test_latency_is_wall_clock_positive(self):
+        async def scenario():
+            cluster = AsyncioCluster(link_delay=0.002)
+            _servers, client = build_cluster(cluster)
+            await closed_loop(cluster, client, total=5)
+            await cluster.shutdown()
+            return client
+
+        client = asyncio.run(scenario())
+        for adopted in client.adopted.values():
+            # At least 3 link hops of 2ms each.
+            assert adopted.latency >= 0.005
+
+
+class TestTcpRuntime:
+    def test_failure_free_run_over_sockets(self):
+        async def scenario():
+            cluster = TcpCluster()
+            servers, client = build_cluster(cluster)
+            done = await closed_loop(cluster, client, total=10)
+            await cluster.shutdown()
+            return cluster, servers, client, done
+
+        cluster, servers, client, done = asyncio.run(scenario())
+        assert done
+        assert len(client.adopted) == 10
+        values = sorted(a.value.value for a in client.adopted.values())
+        assert values == list(range(1, 11))
+        checkers.check_total_order(servers)
+        checkers.check_replica_convergence(servers)
+
+    def test_crash_failover_over_sockets(self):
+        async def scenario():
+            cluster = TcpCluster()
+            servers, client = build_cluster(
+                cluster, fd_interval=0.05, fd_timeout=0.3
+            )
+            submitted = {"n": 0}
+
+            def submit_next(_adopted=None) -> None:
+                if submitted["n"] < 10:
+                    submitted["n"] += 1
+                    client.submit(("incr",))
+
+            client.on_adopt = submit_next
+            await cluster.start()
+            submit_next()
+            await cluster.run_until(lambda: len(client.adopted) >= 3, timeout=10)
+            cluster.crash("p1")
+            done = await cluster.run_until(
+                lambda: len(client.adopted) >= 10, timeout=25
+            )
+            await cluster.shutdown()
+            return servers, client, done
+
+        servers, client, done = asyncio.run(scenario())
+        assert done
+        survivors = [s for s in servers if not s.crashed]
+        checkers.check_total_order(survivors)
+        checkers.check_replica_convergence(survivors)

@@ -1,0 +1,129 @@
+"""Property-based verification of Cnsv-order against Section 5.4.
+
+The generator produces inputs with exactly the structure the protocol
+guarantees (Lemma 2): all optimistically-delivered sequences -- the
+decision's ``dlv_i`` *and* the calling process's ``O_delivered`` -- are
+prefixes of one underlying sequencer order; the ``notdlv_i`` are arbitrary
+orderings of other received messages.  Over every such input the Fig. 7
+post-processing must satisfy all seven properties plus thriftiness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cnsv_order import compute_bad_new, decision_from_vector
+from repro.core.sequences import EMPTY, MessageSequence, common_prefix
+
+
+@st.composite
+def cnsv_inputs(draw):
+    """(o_delivered, decision, proposals) honouring Lemma 2."""
+    universe = [f"m{i}" for i in range(draw(st.integers(2, 10)))]
+    ground = draw(st.permutations(universe))
+
+    n_processes = draw(st.integers(1, 4))
+    proposals = []
+    for index in range(n_processes):
+        dlv_len = draw(st.integers(0, len(ground)))
+        dlv = tuple(ground[:dlv_len])
+        rest = [m for m in ground if m not in dlv]
+        notdlv_pool = draw(st.permutations(rest)) if rest else []
+        notdlv_len = draw(st.integers(0, len(notdlv_pool)))
+        proposals.append((f"p{index + 1}", (dlv, tuple(notdlv_pool[:notdlv_len]))))
+
+    caller_len = draw(st.integers(0, len(ground)))
+    o_delivered = MessageSequence(ground[:caller_len])
+    decision = decision_from_vector(proposals)
+    return o_delivered, decision, proposals
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_unicity(data):
+    o_delivered, decision, _proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    good = o_delivered.subtract(result.bad)
+    assert not (result.new.to_set() & good.to_set())
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_undo_legality(data):
+    o_delivered, decision, _proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    good = o_delivered.subtract(result.bad)
+    assert good.concat(result.bad) == o_delivered
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_undo_thriftiness(data):
+    o_delivered, decision, _proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    assert common_prefix(result.bad, result.new) == EMPTY
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_validity(data):
+    o_delivered, decision, proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    proposed = set()
+    for _pid, (dlv, notdlv) in proposals:
+        proposed |= set(dlv) | set(notdlv)
+    assert result.new.to_set() <= proposed
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_non_triviality(data):
+    o_delivered, decision, proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    final = o_delivered.subtract(result.bad).concat(result.new).to_set()
+    majority = len(proposals) // 2 + 1
+    counts = {}
+    for _pid, (dlv, notdlv) in proposals:
+        for m in set(dlv) | set(notdlv):
+            counts[m] = counts.get(m, 0) + 1
+    for m, holders in counts.items():
+        if holders >= majority:
+            assert m in final
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_undo_consistency(data):
+    # A message undone by the caller appears in no dlv_i of the decision
+    # (the operational form: it cannot have been Opt-delivered in the
+    # agreed order by anyone whose value is in the decision).
+    o_delivered, decision, _proposals = data
+    result = compute_bad_new(o_delivered, decision)
+    for rid in result.bad:
+        for _pid, (dlv, _notdlv) in decision:
+            assert rid not in dlv
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_agreement_across_all_prefix_callers(data):
+    # Every process whose O_delivered is one of the Lemma-2 prefixes must
+    # compute the same (O ⊖ Bad) ⊕ New from the same decision.
+    o_delivered, decision, _proposals = data
+    ground = list(o_delivered)
+    finals = set()
+    for cut in range(len(ground) + 1):
+        caller = MessageSequence(ground[:cut])
+        result = compute_bad_new(caller, decision)
+        finals.add(caller.subtract(result.bad).concat(result.new).items)
+    assert len(finals) == 1
+
+
+@given(cnsv_inputs())
+@settings(max_examples=300)
+def test_bad_is_deterministic(data):
+    o_delivered, decision, _proposals = data
+    first = compute_bad_new(o_delivered, decision)
+    second = compute_bad_new(o_delivered, decision)
+    assert first.bad == second.bad
+    assert first.new == second.new
+    assert first.good == second.good

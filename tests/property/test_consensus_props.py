@@ -1,0 +1,143 @@
+"""Property-based tests for the consensus oracle under random faults.
+
+Agreement and Maj-validity must survive any legal combination of
+coordinator crashes and (transient) wrong suspicions; termination must
+hold whenever a majority stays correct and the failure detector
+eventually stops lying.
+"""
+
+from typing import Any, Dict, List
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.chandra_toueg import ConsensusManager
+from repro.failure.detector import ScriptedFailureDetector
+from repro.sim.component import ComponentProcess
+from repro.sim.latency import UniformLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+
+FUZZ_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class Participant(ComponentProcess):
+    def __init__(self, pid: str, group: List[str], collect: str) -> None:
+        super().__init__(pid)
+        self.fd = ScriptedFailureDetector()
+        self.manager = self.add_component(
+            ConsensusManager(self, group, self.fd, collect=collect)
+        )
+        self.decisions: Dict[Any, Any] = {}
+
+    def propose(self, instance: Any, value: Any) -> None:
+        self.manager.propose(
+            instance, value, lambda k, v: self.decisions.__setitem__(k, v)
+        )
+
+
+@st.composite
+def consensus_scenarios(draw):
+    n = draw(st.sampled_from([3, 4, 5]))
+    majority = n // 2 + 1
+    n_crashes = draw(st.integers(0, n - majority))
+    crash_victims = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=n_crashes,
+            max_size=n_crashes,
+            unique=True,
+        )
+    )
+    crash_times = [draw(st.floats(0.0, 10.0)) for _ in crash_victims]
+    # Transient wrong suspicions: (observer, target, start, duration).
+    n_suspicions = draw(st.integers(0, 4))
+    suspicions = [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, n - 1)),
+            draw(st.floats(0.0, 8.0)),
+            draw(st.floats(1.0, 10.0)),
+        )
+        for _ in range(n_suspicions)
+    ]
+    collect = draw(st.sampled_from(["majority", "unsuspected"]))
+    seed = draw(st.integers(0, 100_000))
+    return n, crash_victims, crash_times, suspicions, collect, seed
+
+
+def run_consensus(scenario):
+    n, crash_victims, crash_times, suspicions, collect, seed = scenario
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim, latency=UniformLatency(0.5, 1.5))
+    group = [f"p{i + 1}" for i in range(n)]
+    parts = [Participant(pid, group, collect) for pid in group]
+    for part in parts:
+        network.add_process(part)
+    network.start_all()
+
+    crashed = set()
+    for victim_index, when in zip(crash_victims, crash_times):
+        victim = group[victim_index]
+        crashed.add(victim)
+        network.crash_at(when, victim)
+        # Crashed processes must eventually be suspected by all (strong
+        # completeness); schedule it shortly after the crash.
+        for part in parts:
+            sim.schedule_at(
+                when + 3.0, lambda fd=part.fd, v=victim: fd.force_suspect(v)
+            )
+
+    for observer_index, target_index, start, duration in suspicions:
+        observer, target = parts[observer_index], group[target_index]
+        sim.schedule_at(
+            start, lambda fd=observer.fd, t=target: fd.force_suspect(t)
+        )
+        if target not in crashed:
+            # Eventual accuracy: wrong suspicions are retracted.
+            sim.schedule_at(
+                start + duration,
+                lambda fd=observer.fd, t=target: fd.force_unsuspect(t),
+            )
+
+    for part in parts:
+        part.propose("k", f"value-{part.pid}")
+
+    sim.run(max_events=400_000)
+    survivors = [p for p in parts if not p.crashed]
+    return survivors, crashed
+
+
+@given(consensus_scenarios())
+@FUZZ_SETTINGS
+def test_agreement_and_termination(scenario):
+    survivors, _crashed = run_consensus(scenario)
+    decisions = [p.decisions.get("k") for p in survivors]
+    assert all(d is not None for d in decisions), "termination violated"
+    assert len({repr(d) for d in decisions}) == 1, "agreement violated"
+
+
+@given(consensus_scenarios())
+@FUZZ_SETTINGS
+def test_decided_values_are_genuine_proposals(scenario):
+    survivors, _crashed = run_consensus(scenario)
+    decision = survivors[0].decisions.get("k")
+    assert decision is not None
+    for pid, value in decision:
+        assert value == f"value-{pid}", "decision forged a proposal"
+
+
+@given(consensus_scenarios())
+@FUZZ_SETTINGS
+def test_majority_collection_satisfies_maj_validity(scenario):
+    n, _v, _t, _s, collect, _seed = scenario
+    if collect != "majority":
+        return  # footnote-5 mode intentionally weakens this (DESIGN.md)
+    survivors, _crashed = run_consensus(scenario)
+    decision = survivors[0].decisions.get("k")
+    assert decision is not None
+    assert len(decision) >= n // 2 + 1

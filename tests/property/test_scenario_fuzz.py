@@ -1,0 +1,132 @@
+"""Property-based scenario fuzzing: the paper's guarantees under random faults.
+
+hypothesis drives the fault schedule (crash victims/times, transient
+wrong suspicions, minority partitions) and the workload shape; every
+generated run must satisfy the full checker bundle.  This subsumes the
+fixed-seed soak in tests/integration/test_propositions.py with an
+adversarial search component (shrinking gives a minimal failing schedule
+when something breaks).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule
+from repro.harness import ScenarioConfig, run_scenario
+
+SCENARIO_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def fault_plans(draw, n_servers: int):
+    """A random-but-legal fault plan for ``n_servers`` OAR replicas."""
+    pids = [f"p{i + 1}" for i in range(n_servers)]
+    majority = n_servers // 2 + 1
+    schedule = FaultSchedule()
+
+    max_crashes = n_servers - majority
+    n_crashes = draw(st.integers(0, max_crashes))
+    victims = draw(
+        st.lists(
+            st.sampled_from(pids),
+            min_size=n_crashes,
+            max_size=n_crashes,
+            unique=True,
+        )
+    )
+    for victim in victims:
+        schedule.crash(draw(st.floats(2.0, 50.0)), victim)
+
+    survivors = [pid for pid in pids if pid not in victims]
+    for pid in survivors:
+        if draw(st.booleans()):
+            start = draw(st.floats(2.0, 40.0))
+            schedule.suspect(start, pid)
+            schedule.unsuspect(start + draw(st.floats(3.0, 15.0)), pid)
+
+    if draw(st.booleans()) and len(survivors) > majority:
+        isolated = draw(st.sampled_from(survivors))
+        rest = [pid for pid in pids if pid != isolated]
+        start = draw(st.floats(2.0, 30.0))
+        schedule.partition(start, [[isolated], rest + ["c1", "c2"]])
+        schedule.heal(start + draw(st.floats(5.0, 25.0)))
+
+    schedule.actions.sort(key=lambda action: action.time)
+    return schedule
+
+
+@given(
+    schedule=fault_plans(n_servers=3),
+    seed=st.integers(0, 10_000),
+    machine=st.sampled_from(["counter", "stack", "bank"]),
+)
+@SCENARIO_SETTINGS
+def test_three_replicas_survive_any_legal_fault_plan(schedule, seed, machine):
+    run = run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=6,
+            machine=machine,
+            fd_interval=2.0,
+            fd_timeout=6.0,
+            fault_schedule=schedule,
+            grace=300.0,
+            seed=seed,
+        )
+    )
+    assert run.all_done(), "run did not quiesce"
+    run.check_all(strict=False)
+
+
+@given(schedule=fault_plans(n_servers=5), seed=st.integers(0, 10_000))
+@SCENARIO_SETTINGS
+def test_five_replicas_survive_any_legal_fault_plan(schedule, seed):
+    run = run_scenario(
+        ScenarioConfig(
+            n_servers=5,
+            n_clients=2,
+            requests_per_client=5,
+            fd_interval=2.0,
+            fd_timeout=6.0,
+            fault_schedule=schedule,
+            grace=300.0,
+            seed=seed,
+        )
+    )
+    assert run.all_done(), "run did not quiesce"
+    run.check_all(strict=False)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    batch_interval=st.one_of(st.just(0.0), st.floats(0.01, 6.0)),
+    gc_after=st.one_of(st.none(), st.integers(2, 8)),
+)
+@SCENARIO_SETTINGS
+def test_protocol_knobs_never_affect_safety(seed, batch_interval, gc_after):
+    from repro.core.server import OARConfig
+
+    run = run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=6,
+            oar=OARConfig(
+                batch_interval=batch_interval,
+                gc_after_requests=gc_after,
+                paranoid=True,  # runtime invariant checks on every event
+            ),
+            grace=200.0,
+            horizon=3_000.0,
+            seed=seed,
+        )
+    )
+    assert run.all_done()
+    run.check_all()

@@ -1,0 +1,167 @@
+"""Property-based tests for state-machine determinism and undo exactness.
+
+These are the two properties the OAR server's correctness rests on:
+
+* **Determinism** -- two replicas applying the same operations produce
+  identical results and states (active replication's precondition,
+  Section 2.1).
+* **Undo exactness** -- ``apply_with_undo`` followed by the undo closure
+  is the identity on state, and undoing a suffix of operations in
+  reverse order restores the pre-suffix state (the Opt-undeliver
+  discipline, footnote 2).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statemachine import (
+    BankMachine,
+    CounterMachine,
+    KVStoreMachine,
+    StackMachine,
+)
+
+# -- operation strategies ----------------------------------------------
+
+stack_op = st.one_of(
+    st.tuples(st.just("push"), st.text("xyz", min_size=1, max_size=2)),
+    st.just(("pop",)),
+    st.just(("top",)),
+    st.just(("size",)),
+)
+
+kv_op = st.one_of(
+    st.tuples(st.just("set"), st.sampled_from("abc"), st.integers(0, 9)),
+    st.tuples(st.just("get"), st.sampled_from("abc")),
+    st.tuples(st.just("delete"), st.sampled_from("abc")),
+    st.tuples(
+        st.just("cas"), st.sampled_from("abc"), st.integers(0, 9), st.integers(0, 9)
+    ),
+)
+
+counter_op = st.one_of(
+    st.just(("incr",)),
+    st.tuples(st.just("incr"), st.integers(-5, 5)),
+    st.just(("decr",)),
+    st.just(("read",)),
+)
+
+bank_op = st.one_of(
+    st.tuples(st.just("deposit"), st.sampled_from(["a", "b"]), st.integers(-5, 50)),
+    st.tuples(st.just("withdraw"), st.sampled_from(["a", "b"]), st.integers(0, 80)),
+    st.tuples(
+        st.just("transfer"),
+        st.sampled_from(["a", "b"]),
+        st.sampled_from(["a", "b"]),
+        st.integers(0, 60),
+    ),
+    st.tuples(st.just("balance"), st.sampled_from(["a", "b"])),
+    st.just(("total",)),
+)
+
+MACHINES = [
+    (lambda: StackMachine(), stack_op),
+    (lambda: KVStoreMachine(), kv_op),
+    (lambda: CounterMachine(), counter_op),
+    (lambda: BankMachine({"a": 100, "b": 100}), bank_op),
+]
+
+
+def machine_and_ops():
+    return st.sampled_from(range(len(MACHINES))).flatmap(
+        lambda index: st.tuples(
+            st.just(index),
+            st.lists(MACHINES[index][1], min_size=0, max_size=25),
+        )
+    )
+
+
+@given(machine_and_ops())
+@settings(max_examples=200)
+def test_replica_determinism(data):
+    index, ops = data
+    factory, _strategy = MACHINES[index]
+    m1, m2 = factory(), factory()
+    results1 = [m1.apply(op) for op in ops]
+    results2 = [m2.apply(op) for op in ops]
+    assert results1 == results2
+    assert m1.fingerprint() == m2.fingerprint()
+
+
+@given(machine_and_ops())
+@settings(max_examples=200)
+def test_single_undo_is_identity(data):
+    index, ops = data
+    factory, _strategy = MACHINES[index]
+    machine = factory()
+    for op in ops:
+        before = machine.fingerprint()
+        _result, undo = machine.apply_with_undo(op)
+        undo()
+        assert machine.fingerprint() == before
+        machine.apply(op)  # then actually apply and move on
+
+
+@given(machine_and_ops(), st.integers(0, 25))
+@settings(max_examples=200)
+def test_suffix_undo_in_reverse_order(data, cut):
+    # Apply all ops; undo the suffix after `cut` in reverse order; the
+    # state must equal a fresh machine that applied only the prefix.
+    index, ops = data
+    factory, _strategy = MACHINES[index]
+    cut = min(cut, len(ops))
+
+    machine = factory()
+    undos = []
+    for op in ops:
+        _result, undo = machine.apply_with_undo(op)
+        undos.append(undo)
+    for undo in reversed(undos[cut:]):
+        undo()
+
+    reference = factory()
+    for op in ops[:cut]:
+        reference.apply(op)
+    assert machine.fingerprint() == reference.fingerprint()
+
+
+@given(machine_and_ops())
+@settings(max_examples=200)
+def test_apply_with_undo_result_matches_plain_apply(data):
+    index, ops = data
+    factory, _strategy = MACHINES[index]
+    m1, m2 = factory(), factory()
+    for op in ops:
+        result_undo, _undo = m1.apply_with_undo(op)
+        result_plain = m2.apply(op)
+        assert result_undo == result_plain
+
+
+@given(machine_and_ops())
+@settings(max_examples=100)
+def test_snapshot_restore_roundtrip(data):
+    index, ops = data
+    factory, _strategy = MACHINES[index]
+    machine = factory()
+    mid = len(ops) // 2
+    for op in ops[:mid]:
+        machine.apply(op)
+    snapshot = machine.snapshot()
+    fingerprint = machine.fingerprint()
+    for op in ops[mid:]:
+        machine.apply(op)
+    machine.restore(snapshot)
+    assert machine.fingerprint() == fingerprint
+
+
+@given(st.lists(bank_op, max_size=30))
+@settings(max_examples=100)
+def test_bank_conservation_under_transfers(ops):
+    machine = BankMachine({"a": 100, "b": 100})
+    for op in ops:
+        if op[0] == "transfer":
+            before = machine.total_balance()
+            machine.apply(op)
+            assert machine.total_balance() == before
+        else:
+            machine.apply(op)

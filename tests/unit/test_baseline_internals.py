@@ -1,0 +1,198 @@
+"""Unit tests for the baseline protocols' internals.
+
+The integration suite runs them end-to-end; these tests pin the message-
+level behaviours: seqno bookkeeping, view takeover, decision merging.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.broadcast.ct_abcast import CTAtomicBroadcastServer
+from repro.broadcast.sequencer import (
+    OrderMsg,
+    SequencerAtomicBroadcastServer,
+    ViewOrder,
+)
+from repro.core.messages import Request
+from repro.failure.detector import ScriptedFailureDetector
+from repro.sim.latency import ConstantLatency
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.statemachine import CounterMachine
+
+
+def request(n: int, client: str = "c1") -> Request:
+    return Request(rid=f"{client}-{n}", client=client, op=("incr",))
+
+
+class _ClientSink:
+    pass
+
+
+def build_sequencer(n: int = 3):
+    sim = Simulator(seed=0)
+    network = SimNetwork(sim, latency=ConstantLatency(1.0))
+    group = [f"p{i + 1}" for i in range(n)]
+    servers: List[SequencerAtomicBroadcastServer] = []
+    for pid in group:
+        server = SequencerAtomicBroadcastServer(
+            pid, group, CounterMachine(), ScriptedFailureDetector()
+        )
+        servers.append(server)
+        network.add_process(server)
+
+    from repro.sim.process import Process
+
+    class Client(Process):
+        def __init__(self):
+            super().__init__("c1")
+            self.replies = []
+
+        def on_message(self, src, payload):
+            self.replies.append((src, payload))
+
+    client = Client()
+    network.add_process(client)
+    network.start_all()
+    return sim, network, servers, client
+
+
+class TestSequencerBaseline:
+    def test_sequencer_assigns_contiguous_seqnos(self):
+        sim, network, servers, _client = build_sequencer()
+        p1 = servers[0]
+        for index in range(3):
+            p1._on_request(request(index))
+        sim.run()
+        assigns = network.trace.events(kind="seq_assign")
+        assert [event["seqno"] for event in assigns] == [1, 2, 3]
+
+    def test_followers_deliver_in_seqno_order_despite_gaps(self):
+        _sim, _network, servers, _client = build_sequencer()
+        p2 = servers[1]
+        p2._on_request(request(0))
+        p2._on_request(request(1))
+        # Seqno 2 arrives first: must be buffered until 1 fills the gap.
+        p2._on_order("p1", OrderMsg(view=0, seqno=2, rid="c1-1"))
+        assert p2.delivered_order == ()
+        p2._on_order("p1", OrderMsg(view=0, seqno=1, rid="c1-0"))
+        assert p2.delivered_order == ("c1-0", "c1-1")
+
+    def test_order_from_suspected_sender_ignored(self):
+        _sim, _network, servers, _client = build_sequencer()
+        p3 = servers[2]  # p3 never takes over (p2 precedes it)
+        p3.fd.force_suspect("p1")
+        p3._on_request(request(0))
+        # An assignment racing in from the deposed sequencer is dropped.
+        p3._on_order("p1", OrderMsg(view=0, seqno=1, rid="c1-0"))
+        assert p3.delivered_order == ()
+
+    def test_view_order_adopts_history_and_continues(self):
+        _sim, _network, servers, _client = build_sequencer()
+        p3 = servers[2]
+        p3._on_request(request(0))
+        p3._on_request(request(1))
+        p3._on_view_order("p2", ViewOrder(view=1, sequence=("c1-0",)))
+        assert p3.view == 1
+        assert p3.delivered_order == ("c1-0",)
+        # Continues with the new sequencer's numbering after the history.
+        p3._on_order("p2", OrderMsg(view=1, seqno=2, rid="c1-1"))
+        assert p3.delivered_order == ("c1-0", "c1-1")
+
+    def test_view_order_never_undoes(self):
+        # A replica that already delivered in the old order keeps its
+        # (possibly divergent) history -- that is the baseline's flaw.
+        _sim, _network, servers, _client = build_sequencer()
+        p3 = servers[2]
+        p3._on_request(request(0))
+        p3._on_request(request(1))
+        p3._on_order("p1", OrderMsg(view=0, seqno=1, rid="c1-1"))
+        assert p3.delivered_order == ("c1-1",)
+        p3._on_view_order("p2", ViewOrder(view=1, sequence=("c1-0", "c1-1")))
+        # c1-1 stays where it was; only the missing c1-0 is appended.
+        assert p3.delivered_order == ("c1-1", "c1-0")
+
+    def test_takeover_resequences_pending(self):
+        sim, network, servers, _client = build_sequencer()
+        p2 = servers[1]
+        p2._on_request(request(0))
+        p2._on_request(request(1))
+        assert not p2.is_sequencer
+        p2.fd.force_suspect("p1")
+        assert p2.is_sequencer
+        assert p2.delivered_order == ("c1-0", "c1-1")
+        assert p2.view == 1
+
+    def test_stale_view_order_ignored(self):
+        _sim, _network, servers, _client = build_sequencer()
+        p3 = servers[2]
+        p3.view = 5
+        p3._on_view_order("p2", ViewOrder(view=1, sequence=("c1-0",)))
+        assert p3.delivered_order == ()
+
+
+class TestCTAbcastInternals:
+    def build(self, n: int = 3):
+        sim = Simulator(seed=0)
+        network = SimNetwork(sim, latency=ConstantLatency(1.0))
+        group = [f"p{i + 1}" for i in range(n)]
+        servers = [
+            CTAtomicBroadcastServer(
+                pid, group, CounterMachine(), ScriptedFailureDetector()
+            )
+            for pid in group
+        ]
+        for server in servers:
+            network.add_process(server)
+
+        from repro.sim.process import Process
+
+        class Client(Process):
+            def __init__(self):
+                super().__init__("c1")
+                self.replies = []
+
+            def on_message(self, src, payload):
+                self.replies.append((src, payload))
+
+        client = Client()
+        network.add_process(client)
+        network.start_all()
+        return sim, network, servers, client
+
+    def test_one_instance_at_a_time(self):
+        sim, network, servers, _client = self.build()
+        for server in servers:
+            server._on_rdeliver("c1", request(0))
+            server._on_rdeliver("c1", request(1))
+        sim.run(max_events=100_000)
+        # Both requests delivered; instance counter advanced identically.
+        for server in servers:
+            assert server.delivered_order == ("c1-0", "c1-1")
+            assert server._instance >= 1
+
+    def test_decision_merge_is_deterministic_across_replicas(self):
+        sim, network, servers, _client = self.build()
+        # Different replicas see the requests in different local orders.
+        servers[0]._on_rdeliver("c1", request(0))
+        servers[0]._on_rdeliver("c1", request(1))
+        servers[1]._on_rdeliver("c1", request(1))
+        servers[1]._on_rdeliver("c1", request(0))
+        servers[2]._on_rdeliver("c1", request(0))
+        servers[2]._on_rdeliver("c1", request(1))
+        sim.run(max_events=100_000)
+        orders = {server.delivered_order for server in servers}
+        assert len(orders) == 1
+
+    def test_duplicate_rdeliver_ignored(self):
+        _sim, _network, servers, _client = self.build()
+        server = servers[0]
+        server._on_rdeliver("c1", request(0))
+        server._on_rdeliver("c1", request(0))
+        assert server.r_delivered == ["c1-0"]
+
+    def test_non_request_rdeliver_rejected(self):
+        _sim, _network, servers, _client = self.build()
+        with pytest.raises(TypeError):
+            servers[0]._on_rdeliver("c1", "gibberish")

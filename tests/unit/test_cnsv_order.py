@@ -1,0 +1,190 @@
+"""Unit tests for Cnsv-order (Fig. 7) against the Section 5.4 specification."""
+
+import pytest
+
+from repro.core.cnsv_order import (
+    compute_bad_new,
+    decision_from_vector,
+)
+from repro.core.sequences import EMPTY, MessageSequence, common_prefix
+
+
+def decision(*pairs):
+    """Build a decision: pairs of (pid, dlv tuple, notdlv tuple)."""
+    return decision_from_vector(
+        [(pid, (tuple(dlv), tuple(notdlv))) for pid, dlv, notdlv in pairs]
+    )
+
+
+class TestFigure3Shape:
+    """Paper Figure 3: majority Opt-delivered; nothing undone."""
+
+    DECISION = decision(
+        ("p2", ("m1", "m2", "m3", "m4"), ()),
+        ("p3", ("m1", "m2"), ("m4", "m3")),
+    )
+
+    def test_process_with_full_sequence(self):
+        result = compute_bad_new(
+            MessageSequence(["m1", "m2", "m3", "m4"]), self.DECISION
+        )
+        assert result.bad == EMPTY
+        assert result.new == EMPTY
+        assert result.good == ("m1", "m2", "m3", "m4")
+
+    def test_process_with_short_sequence(self):
+        result = compute_bad_new(MessageSequence(["m1", "m2"]), self.DECISION)
+        assert result.bad == EMPTY
+        assert result.new == ("m3", "m4")
+        assert result.final_sequence == ("m1", "m2", "m3", "m4")
+
+
+class TestFigure4Shape:
+    """Paper Figure 4: the minority's optimistic suffix is undone."""
+
+    DECISION = decision(
+        ("p3", ("m1", "m2"), ("m4", "m3")),
+        ("p4", ("m1", "m2"), ("m3", "m4")),
+    )
+
+    def test_minority_process_undoes(self):
+        result = compute_bad_new(
+            MessageSequence(["m1", "m2", "m3", "m4"]), self.DECISION
+        )
+        assert result.bad == ("m3", "m4")
+        assert result.new == ("m4", "m3")
+        assert result.final_sequence == ("m1", "m2", "m4", "m3")
+
+    def test_majority_process_just_delivers(self):
+        result = compute_bad_new(MessageSequence(["m1", "m2"]), self.DECISION)
+        assert result.bad == EMPTY
+        assert result.new == ("m4", "m3")
+
+    def test_merge_is_pid_ordered_first_wins(self):
+        # ⊎({m4;m3}, {m3;m4}) with p3 < p4 gives {m4;m3}.
+        result = compute_bad_new(EMPTY, self.DECISION)
+        assert result.new == ("m1", "m2", "m4", "m3")
+
+
+class TestThriftiness:
+    def test_shared_prefix_not_undone(self):
+        # O_delivered = [a;b;c]; dlvmax = [a]; notdlv re-schedules b then c:
+        # naively Bad = [b;c], New = [b;c] -- thriftiness keeps them.
+        dk = decision(
+            ("p1", ("a",), ("b", "c")),
+            ("p2", ("a",), ("b", "c")),
+        )
+        result = compute_bad_new(MessageSequence(["a", "b", "c"]), dk)
+        assert result.bad == EMPTY
+        assert result.new == EMPTY
+        assert result.good == ("a", "b", "c")
+
+    def test_partial_shared_prefix(self):
+        # Bad would be [b;c], New would be [b;d;c]: only b is saved.
+        dk = decision(
+            ("p1", ("a",), ("b", "d", "c")),
+            ("p2", ("a",), ()),
+        )
+        result = compute_bad_new(MessageSequence(["a", "b", "c"]), dk)
+        assert result.bad == ("c",)
+        assert result.new == ("d", "c")
+        assert result.good == ("a", "b")
+        # Undo thriftiness property: ⊓(Bad, New) = ε.
+        assert common_prefix(result.bad, result.new) == EMPTY
+
+
+class TestSpecificationProperties:
+    """Direct checks of the Section 5.4 properties on assorted inputs."""
+
+    CASES = [
+        # (o_delivered, decision pairs)
+        (("m1", "m2"), [("p1", ("m1", "m2"), ()), ("p2", ("m1",), ("m2",))]),
+        ((), [("p1", (), ("m1",)), ("p2", (), ("m1", "m2"))]),
+        (
+            ("m1", "m2", "m3"),
+            [("p1", ("m1",), ("m9",)), ("p2", ("m1",), ("m3", "m2"))],
+        ),
+        (
+            ("a", "b"),
+            [("p1", ("a", "b", "c"), ("d",)), ("p2", ("a", "b"), ("d", "e"))],
+        ),
+    ]
+
+    @pytest.mark.parametrize("o_dlv,pairs", CASES)
+    def test_unicity(self, o_dlv, pairs):
+        result = compute_bad_new(MessageSequence(o_dlv), decision(*pairs))
+        good = MessageSequence(o_dlv).subtract(result.bad)
+        assert not (result.new.to_set() & good.to_set())
+
+    @pytest.mark.parametrize("o_dlv,pairs", CASES)
+    def test_undo_legality(self, o_dlv, pairs):
+        result = compute_bad_new(MessageSequence(o_dlv), decision(*pairs))
+        good = MessageSequence(o_dlv).subtract(result.bad)
+        assert good.concat(result.bad) == MessageSequence(o_dlv)
+
+    @pytest.mark.parametrize("o_dlv,pairs", CASES)
+    def test_undo_thriftiness(self, o_dlv, pairs):
+        result = compute_bad_new(MessageSequence(o_dlv), decision(*pairs))
+        assert common_prefix(result.bad, result.new) == EMPTY
+
+    @pytest.mark.parametrize("o_dlv,pairs", CASES)
+    def test_validity(self, o_dlv, pairs):
+        result = compute_bad_new(MessageSequence(o_dlv), decision(*pairs))
+        proposed = set()
+        for _pid, dlv, notdlv in pairs:
+            proposed |= set(dlv) | set(notdlv)
+        assert result.new.to_set() <= proposed
+
+    def test_agreement_across_processes(self):
+        # Processes with prefix-related O_delivered values must compute
+        # identical final sequences from the same decision.
+        dk = decision(
+            ("p1", ("m1", "m2", "m3"), ("m5",)),
+            ("p2", ("m1",), ("m4", "m5")),
+        )
+        finals = set()
+        for o_dlv in [(), ("m1",), ("m1", "m2"), ("m1", "m2", "m3")]:
+            result = compute_bad_new(MessageSequence(o_dlv), dk)
+            finals.add(
+                MessageSequence(o_dlv).subtract(result.bad).concat(result.new).items
+            )
+        assert len(finals) == 1
+
+    def test_non_triviality_majority_message_delivered(self):
+        # m held by both processes in the decision -> delivered.
+        dk = decision(
+            ("p1", (), ("m",)),
+            ("p2", (), ("m",)),
+        )
+        result = compute_bad_new(EMPTY, dk)
+        assert "m" in result.new
+
+
+class TestDecisionNormalization:
+    def test_sorts_by_pid(self):
+        dk = decision_from_vector(
+            [("p2", (("a",), ())), ("p1", ((), ("b",)))]
+        )
+        assert [pid for pid, _v in dk] == ["p1", "p2"]
+
+    def test_malformed_proposal_rejected(self):
+        with pytest.raises(TypeError):
+            decision_from_vector([("p1", "not-a-pair")])
+        with pytest.raises(TypeError):
+            decision_from_vector([("p1", (("a",),))])
+
+    def test_empty_decision_rejected(self):
+        with pytest.raises(ValueError):
+            compute_bad_new(EMPTY, ())
+
+
+class TestDlvMaxSelection:
+    def test_longest_prefix_wins(self):
+        dk = decision(
+            ("p1", ("a",), ()),
+            ("p2", ("a", "b", "c"), ()),
+            ("p3", ("a", "b"), ()),
+        )
+        result = compute_bad_new(EMPTY, dk)
+        assert result.dlv_max == ("a", "b", "c")
+        assert result.new == ("a", "b", "c")

@@ -1,0 +1,178 @@
+"""Unit tests for the discrete-event loop (repro.sim.loop)."""
+
+import pytest
+
+from repro.sim.loop import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abcde":
+            sim.schedule(1.0, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+        assert sim.now == 5.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_call_soon_runs_after_pending_same_time_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: fired.append("soon")))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second", "soon"]
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestTimerHandles:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert not handle.fired
+        assert handle.cancelled
+
+    def test_handle_reports_fired(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert handle.fired
+        assert not handle.active
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run()
+        handle.cancel()
+        assert fired == ["x"]
+        assert handle.fired
+
+
+class TestRunVariants:
+    def test_run_until_horizon_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        for _ in range(10):
+            sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        counter = []
+
+        def tick():
+            counter.append(1)
+            if len(counter) < 5:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        assert sim.run_until(lambda: len(counter) >= 3)
+        assert len(counter) == 3
+
+    def test_run_until_returns_false_when_events_exhaust(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.run_until(lambda: False, max_events=100)
+
+    def test_step_returns_false_on_empty_queue(self):
+        sim = Simulator()
+        assert not sim.step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        assert [a.rng.random() for _ in range(10)] == [
+            b.rng.random() for _ in range(10)
+        ]
+
+    def test_child_rngs_are_independent_and_deterministic(self):
+        a, b = Simulator(seed=7), Simulator(seed=7)
+        a_child = a.child_rng("fd")
+        # Consuming the master rng must not perturb the child stream.
+        b.rng.random()
+        b_child = b.child_rng("fd")
+        assert [a_child.random() for _ in range(5)] == [
+            b_child.random() for _ in range(5)
+        ]
+
+    def test_different_names_different_streams(self):
+        sim = Simulator(seed=7)
+        assert sim.child_rng("x").random() != sim.child_rng("y").random()

@@ -1,0 +1,286 @@
+"""Unit tests for the deterministic state machines and the undo log."""
+
+import pytest
+
+from repro.statemachine import (
+    BankMachine,
+    CounterMachine,
+    KVStoreMachine,
+    StackMachine,
+    UndoLog,
+)
+
+
+class TestStackMachine:
+    def test_push_pop_lifo(self):
+        m = StackMachine()
+        assert m.apply(("push", "a")).ok
+        assert m.apply(("push", "b")).ok
+        assert m.apply(("pop",)).value == "b"
+        assert m.apply(("pop",)).value == "a"
+
+    def test_pop_empty_is_deterministic_error(self):
+        m = StackMachine()
+        result = m.apply(("pop",))
+        assert not result.ok
+        assert "empty" in result.error
+
+    def test_top_and_size(self):
+        m = StackMachine()
+        m.apply(("push", "x"))
+        assert m.apply(("top",)).value == "x"
+        assert m.apply(("size",)).value == 1
+        assert m.apply(("top",)).value == "x"  # top does not remove
+
+    def test_top_empty_error(self):
+        assert not StackMachine().apply(("top",)).ok
+
+    def test_unknown_op(self):
+        result = StackMachine().apply(("fly",))
+        assert not result.ok
+        assert "unknown operation" in result.error
+
+    def test_undo_push(self):
+        m = StackMachine()
+        _result, undo = m.apply_with_undo(("push", "x"))
+        undo()
+        assert m.fingerprint() == ()
+
+    def test_undo_pop_restores_value(self):
+        m = StackMachine()
+        m.apply(("push", "x"))
+        _result, undo = m.apply_with_undo(("pop",))
+        undo()
+        assert m.fingerprint() == ("x",)
+
+    def test_undo_of_failed_op_is_noop(self):
+        m = StackMachine()
+        _result, undo = m.apply_with_undo(("pop",))
+        undo()
+        assert m.fingerprint() == ()
+
+    def test_snapshot_restore(self):
+        m = StackMachine()
+        m.apply(("push", "x"))
+        snap = m.snapshot()
+        m.apply(("push", "y"))
+        m.restore(snap)
+        assert m.fingerprint() == ("x",)
+
+    def test_figure1_semantics(self):
+        # Initial stack [y]: order (push;pop) pops x, order (pop;push) pops y.
+        m1 = StackMachine()
+        m1.apply(("push", "y"))
+        m1.apply(("push", "x"))
+        assert m1.apply(("pop",)).value == "x"
+
+        m2 = StackMachine()
+        m2.apply(("push", "y"))
+        assert m2.apply(("pop",)).value == "y"
+
+
+class TestKVStoreMachine:
+    def test_set_get_delete(self):
+        m = KVStoreMachine()
+        assert m.apply(("set", "k", 1)).value is None
+        assert m.apply(("get", "k")).value == 1
+        assert m.apply(("set", "k", 2)).value == 1  # returns previous
+        assert m.apply(("delete", "k")).value == 2
+        assert not m.apply(("get", "k")).ok
+
+    def test_get_missing_error(self):
+        assert not KVStoreMachine().apply(("get", "nope")).ok
+
+    def test_delete_missing_error(self):
+        assert not KVStoreMachine().apply(("delete", "nope")).ok
+
+    def test_cas_success_and_failure(self):
+        m = KVStoreMachine()
+        m.apply(("set", "k", "v1"))
+        assert m.apply(("cas", "k", "v1", "v2")).value is True
+        assert m.apply(("cas", "k", "v1", "v3")).value is False
+        assert m.apply(("get", "k")).value == "v2"
+
+    def test_cas_on_missing_key_fails_gracefully(self):
+        assert KVStoreMachine().apply(("cas", "k", "a", "b")).value is False
+
+    def test_keys_sorted(self):
+        m = KVStoreMachine()
+        m.apply(("set", "b", 1))
+        m.apply(("set", "a", 2))
+        assert m.apply(("keys",)).value == ("a", "b")
+
+    def test_undo_set_restores_previous(self):
+        m = KVStoreMachine()
+        m.apply(("set", "k", "old"))
+        _result, undo = m.apply_with_undo(("set", "k", "new"))
+        undo()
+        assert m.apply(("get", "k")).value == "old"
+
+    def test_undo_set_removes_fresh_key(self):
+        m = KVStoreMachine()
+        _result, undo = m.apply_with_undo(("set", "k", "v"))
+        undo()
+        assert not m.apply(("get", "k")).ok
+
+    def test_undo_delete(self):
+        m = KVStoreMachine()
+        m.apply(("set", "k", "v"))
+        _result, undo = m.apply_with_undo(("delete", "k"))
+        undo()
+        assert m.apply(("get", "k")).value == "v"
+
+    def test_undo_cas(self):
+        m = KVStoreMachine()
+        m.apply(("set", "k", "a"))
+        _result, undo = m.apply_with_undo(("cas", "k", "a", "b"))
+        undo()
+        assert m.apply(("get", "k")).value == "a"
+
+    def test_fingerprint_order_insensitive(self):
+        m1, m2 = KVStoreMachine(), KVStoreMachine()
+        m1.apply(("set", "a", 1))
+        m1.apply(("set", "b", 2))
+        m2.apply(("set", "b", 2))
+        m2.apply(("set", "a", 1))
+        assert m1.fingerprint() == m2.fingerprint()
+
+
+class TestCounterMachine:
+    def test_incr_returns_position(self):
+        m = CounterMachine()
+        assert m.apply(("incr",)).value == 1
+        assert m.apply(("incr",)).value == 2
+        assert m.apply(("incr", 10)).value == 12
+
+    def test_decr_and_read(self):
+        m = CounterMachine(initial=5)
+        assert m.apply(("decr",)).value == 4
+        assert m.apply(("read",)).value == 4
+
+    def test_non_integer_amount_rejected(self):
+        assert not CounterMachine().apply(("incr", "lots")).ok
+
+    def test_undo_roundtrip(self):
+        m = CounterMachine()
+        _result, undo = m.apply_with_undo(("incr", 7))
+        undo()
+        assert m.fingerprint() == 0
+
+
+class TestBankMachine:
+    def test_open_deposit_withdraw(self):
+        m = BankMachine()
+        assert m.apply(("open", "alice")).value == 0
+        assert m.apply(("deposit", "alice", 100)).value == 100
+        assert m.apply(("withdraw", "alice", 30)).value == 70
+
+    def test_double_open_rejected(self):
+        m = BankMachine({"alice": 0})
+        assert not m.apply(("open", "alice")).ok
+
+    def test_overdraft_rejected(self):
+        m = BankMachine({"alice": 10})
+        result = m.apply(("withdraw", "alice", 100))
+        assert not result.ok
+        assert m.apply(("balance", "alice")).value == 10
+
+    def test_transfer(self):
+        m = BankMachine({"alice": 100, "bob": 0})
+        result = m.apply(("transfer", "alice", "bob", 40))
+        assert result.value == (60, 40)
+        assert m.total_balance() == 100
+
+    def test_transfer_overdraft(self):
+        m = BankMachine({"alice": 10, "bob": 0})
+        assert not m.apply(("transfer", "alice", "bob", 40)).ok
+
+    def test_missing_account(self):
+        m = BankMachine()
+        assert not m.apply(("deposit", "ghost", 1)).ok
+        assert not m.apply(("balance", "ghost")).ok
+
+    def test_negative_amount_rejected(self):
+        m = BankMachine({"alice": 10})
+        assert not m.apply(("deposit", "alice", -5)).ok
+
+    def test_total(self):
+        m = BankMachine({"a": 10, "b": 20})
+        assert m.apply(("total",)).value == 30
+
+    def test_undo_transfer_conserves(self):
+        m = BankMachine({"alice": 100, "bob": 50})
+        _result, undo = m.apply_with_undo(("transfer", "alice", "bob", 25))
+        undo()
+        assert m.apply(("balance", "alice")).value == 100
+        assert m.apply(("balance", "bob")).value == 50
+
+    def test_undo_open(self):
+        m = BankMachine()
+        _result, undo = m.apply_with_undo(("open", "x"))
+        undo()
+        assert not m.apply(("balance", "x")).ok
+
+
+class TestUndoLog:
+    def test_reverse_order_undo(self):
+        log = UndoLog()
+        state = []
+        log.push("m1", lambda: state.append("undo-m1"))
+        log.push("m2", lambda: state.append("undo-m2"))
+        log.undo_last("m2")
+        log.undo_last("m1")
+        assert state == ["undo-m2", "undo-m1"]
+        assert len(log) == 0
+
+    def test_out_of_order_undo_fails_loudly(self):
+        log = UndoLog()
+        log.push("m1", lambda: None)
+        log.push("m2", lambda: None)
+        with pytest.raises(RuntimeError, match="out-of-order"):
+            log.undo_last("m1")
+
+    def test_undo_empty_fails(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            UndoLog().undo_last("m1")
+
+    def test_commit_clears(self):
+        log = UndoLog()
+        log.push("m1", lambda: None)
+        log.commit()
+        assert len(log) == 0
+        assert log.tags == []
+
+    def test_tags_in_order(self):
+        log = UndoLog()
+        log.push("m1", lambda: None)
+        log.push("m2", lambda: None)
+        assert log.tags == ["m1", "m2"]
+
+
+class TestDeterminism:
+    """Two replicas applying the same ops reach identical state/results."""
+
+    @pytest.mark.parametrize(
+        "factory,ops",
+        [
+            (
+                StackMachine,
+                [("push", "a"), ("pop",), ("pop",), ("push", "b"), ("size",)],
+            ),
+            (
+                KVStoreMachine,
+                [("set", "k", 1), ("cas", "k", 1, 2), ("delete", "k"), ("get", "k")],
+            ),
+            (
+                lambda: BankMachine({"a": 100, "b": 0}),
+                [("transfer", "a", "b", 30), ("withdraw", "b", 50), ("total",)],
+            ),
+        ],
+    )
+    def test_replicated_determinism(self, factory, ops):
+        m1, m2 = factory(), factory()
+        results1 = [m1.apply(op) for op in ops]
+        results2 = [m2.apply(op) for op in ops]
+        assert results1 == results2
+        assert m1.fingerprint() == m2.fingerprint()

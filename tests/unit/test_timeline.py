@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII space-time diagram renderer."""
+
+from repro.analysis.timeline import MARKERS, describe_run, render_timeline
+from repro.sim.trace import TraceLog
+
+
+def make_trace():
+    log = TraceLog()
+    log.record(0.0, "c1", "submit", rid="m1", op=("incr",))
+    log.record(1.0, "p1", "r_deliver", rid="m1")
+    log.record(1.0, "p1", "seq_order", epoch=0, rids=("m1",))
+    log.record(1.0, "p1", "opt_deliver", rid="m1", epoch=0, position=1, value=1)
+    log.record(2.0, "p2", "opt_deliver", rid="m1", epoch=0, position=1, value=1)
+    log.record(3.0, "c1", "adopt", rid="m1", position=1, value=1, epoch=0,
+               weight=("p1", "p2"), conservative=False, latency=3.0)
+    log.record(5.0, "p1", "crash")
+    log.record(8.0, "p2", "phase2_start", epoch=0, reason="suspicion")
+    log.record(9.0, "p2", "opt_undeliver", rid="m1", epoch=0)
+    log.record(10.0, "p2", "a_deliver", rid="m1", epoch=0, position=1, value=1)
+    return log
+
+
+class TestRenderTimeline:
+    def test_all_lanes_present(self):
+        text = render_timeline(make_trace(), ["p1", "p2", "c1"])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("p1")
+        assert lines[1].strip().startswith("p2")
+        assert lines[2].strip().startswith("c1")
+
+    def test_markers_appear(self):
+        text = render_timeline(make_trace(), ["p1", "p2", "c1"])
+        for kind in ("opt_deliver", "a_deliver", "opt_undeliver", "crash"):
+            assert MARKERS[kind][0] in text
+
+    def test_crash_truncates_lane(self):
+        text = render_timeline(make_trace(), ["p1"], width=40, legend=False)
+        lane = text.splitlines()[0]
+        crash_at = lane.index("X")
+        # Everything after the crash is blank, like the paper's figures.
+        assert set(lane[crash_at + 1:]) <= {" "}
+
+    def test_time_window_filtering(self):
+        text = render_timeline(
+            make_trace(), ["p2"], start=0.0, end=5.0, legend=False
+        )
+        assert "A" not in text  # the a_deliver at t=10 is outside
+
+    def test_kind_filtering(self):
+        text = render_timeline(
+            make_trace(), ["p1", "p2"], kinds=["opt_deliver"], legend=False
+        )
+        assert "o" in text
+        assert "X" not in text
+
+    def test_empty_selection(self):
+        assert "no events" in render_timeline(TraceLog(), ["p1"])
+
+    def test_legend_lists_only_used_markers(self):
+        text = render_timeline(make_trace(), ["p1"], kinds=["crash"])
+        assert "crash" in text
+        assert "Opt-undeliver" not in text
+
+    def test_collision_shifts_right(self):
+        # Three same-time events on one lane must all be drawn.
+        log = TraceLog()
+        for _ in range(3):
+            log.record(1.0, "p1", "opt_deliver", rid="m", epoch=0,
+                       position=1, value=1)
+        text = render_timeline(log, ["p1"], width=30, legend=False)
+        assert text.splitlines()[0].count("o") == 3
+
+    def test_axis_shows_bounds(self):
+        text = render_timeline(make_trace(), ["p1"], start=0.0, end=10.0)
+        assert "t=0.0" in text
+        assert "t=10.0" in text
+
+
+class TestDescribeRun:
+    def test_synopsis_counts(self):
+        text = describe_run(make_trace(), ["p1", "p2", "c1"])
+        assert "Opt-deliver: 2" in text
+        assert "A-deliver: 1" in text
+        assert "crash: 1" in text
+        assert "epoch(s) [0]" in text
+
+    def test_empty_trace(self):
+        assert describe_run(TraceLog(), ["p1"]) == ""
