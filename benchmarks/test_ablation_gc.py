@@ -17,6 +17,9 @@ from repro.core.server import OARConfig
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 
+pytestmark = pytest.mark.bench
+
+
 REQUESTS = 40
 
 

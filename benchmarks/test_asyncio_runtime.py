@@ -23,6 +23,9 @@ from repro.harness import Table, write_result
 from repro.runtime import AsyncioCluster, TcpCluster
 from repro.statemachine import CounterMachine
 
+pytestmark = pytest.mark.bench
+
+
 REQUESTS = 30
 
 

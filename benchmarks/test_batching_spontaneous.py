@@ -24,6 +24,9 @@ from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 from repro.sim.latency import LanProfile
 
+pytestmark = pytest.mark.bench
+
+
 BATCH_INTERVALS = [0.0, 1.0, 2.0, 5.0]
 JITTERS = [0.0, 0.5, 2.0, 5.0]
 

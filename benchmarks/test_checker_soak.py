@@ -12,6 +12,11 @@ import random
 from repro.faults import random_fault_schedule
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
 SEEDS = range(6)
 
 

@@ -14,6 +14,9 @@ from repro.analysis.stats import summarize
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 from repro.harness.figures import run_figure_1b, run_figure_1b_with_oar
 
+pytestmark = pytest.mark.bench
+
+
 
 def run_clean(protocol: str, seed: int = 0):
     return run_scenario(

@@ -21,6 +21,9 @@ from repro.faults import crash_during_multicast
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 from repro.sim.latency import UniformLatency
 
+pytestmark = pytest.mark.bench
+
+
 SEEDS = range(12)
 LOST_ORDER_INDEX = 4
 

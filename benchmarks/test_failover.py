@@ -14,6 +14,9 @@ import pytest
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 
+pytestmark = pytest.mark.bench
+
+
 TIMEOUTS = [3.0, 6.0, 12.0, 24.0]
 CRASH_AT = 10.0
 

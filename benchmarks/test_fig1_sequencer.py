@@ -14,6 +14,11 @@ from repro.harness.figures import (
 )
 from repro.harness.tables import Table, write_result
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
 
 def test_fig1a_good_run(benchmark):
     run = benchmark.pedantic(run_figure_1a, rounds=3, iterations=1)

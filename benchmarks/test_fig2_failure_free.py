@@ -7,6 +7,11 @@ order at every server, zero conservative phases.
 from repro.harness.figures import run_figure_2
 from repro.harness.tables import Table, write_result
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
 EXPECTED = ("c1-0", "c1-1", "c1-2", "c1-3", "c1-4")
 
 

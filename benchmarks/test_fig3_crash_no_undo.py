@@ -8,6 +8,11 @@ every survivor and p3 A-delivers {m3;m4}.
 from repro.harness.figures import run_figure_3
 from repro.harness.tables import Table, write_result
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
 M1, M2, M3, M4 = "c1-0", "c1-1", "c1-2", "c1-3"
 
 

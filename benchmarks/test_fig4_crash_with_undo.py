@@ -11,6 +11,11 @@ from repro.analysis import checkers
 from repro.harness.figures import run_figure_4
 from repro.harness.tables import Table, write_result
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
+
 M1, M2, M3, M4 = "c1-0", "c2-0", "c1-1", "c2-1"
 
 

@@ -20,6 +20,9 @@ import pytest
 from repro.analysis.stats import summarize
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 
+pytestmark = pytest.mark.bench
+
+
 PROTOCOLS = ["oar", "sequencer", "passive", "ct"]
 GROUP_SIZES = [3, 5, 7, 9]
 REQUESTS = 30

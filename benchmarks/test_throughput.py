@@ -13,6 +13,9 @@ from repro.analysis.stats import summarize
 from repro.core.server import OARConfig
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 
+pytestmark = pytest.mark.bench
+
+
 RATES = [0.1, 0.5, 1.0, 2.0]
 REQUESTS = 60
 

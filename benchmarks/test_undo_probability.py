@@ -23,6 +23,9 @@ from repro.faults import FaultSchedule, crash_during_multicast
 from repro.harness import ScenarioConfig, Table, run_scenario, write_result
 from repro.sim.latency import UniformLatency
 
+pytestmark = pytest.mark.bench
+
+
 SEEDS = range(8)
 
 

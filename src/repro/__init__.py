@@ -19,6 +19,9 @@ entirely in Python:
   machines (stack, key-value store, counter, bank).
 * :mod:`repro.replication` -- classic active and passive replication
   baselines.
+* :mod:`repro.sharding` -- partitioned state machines: N independent OAR
+  groups behind a deterministic key router, with a client-coordinated
+  two-phase escrow commit for cross-shard operations.
 * :mod:`repro.analysis` -- trace checkers for the paper's propositions.
 * :mod:`repro.workload`, :mod:`repro.harness` -- workload generation and
   the experiment harness behind every benchmark.
@@ -41,13 +44,21 @@ from repro.core import (
     OARClient,
     OARConfig,
     OARServer,
+    ShardedOARClient,
     common_prefix,
     compute_bad_new,
     merge_dedup,
 )
-from repro.harness import ScenarioConfig, ScenarioRun, run_scenario
+from repro.harness import (
+    ScenarioConfig,
+    ScenarioRun,
+    ShardedRun,
+    ShardedScenarioConfig,
+    run_scenario,
+    run_sharded_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdoptedReply",
@@ -57,9 +68,13 @@ __all__ = [
     "OARServer",
     "ScenarioConfig",
     "ScenarioRun",
+    "ShardedOARClient",
+    "ShardedRun",
+    "ShardedScenarioConfig",
     "common_prefix",
     "compute_bad_new",
     "merge_dedup",
     "run_scenario",
+    "run_sharded_scenario",
     "__version__",
 ]

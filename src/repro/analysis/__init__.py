@@ -14,12 +14,15 @@ from repro.analysis.checkers import (
     check_at_least_once,
     check_at_most_once,
     check_cnsv_order_properties,
+    check_cross_shard_atomicity,
     check_external_consistency,
     check_majority_guarantee,
     check_replica_convergence,
+    check_single_shard_properties,
     check_total_order,
     count_baseline_inconsistencies,
     reconstruct_delivered,
+    subtrace,
 )
 from repro.analysis.stats import LatencyStats, latencies_from_trace, summarize
 from repro.analysis.timeline import describe_run, render_timeline
@@ -30,14 +33,17 @@ __all__ = [
     "check_at_least_once",
     "check_at_most_once",
     "check_cnsv_order_properties",
+    "check_cross_shard_atomicity",
     "check_external_consistency",
     "check_majority_guarantee",
     "check_replica_convergence",
+    "check_single_shard_properties",
     "check_total_order",
     "count_baseline_inconsistencies",
     "describe_run",
     "latencies_from_trace",
     "reconstruct_delivered",
     "render_timeline",
+    "subtrace",
     "summarize",
 ]

@@ -24,7 +24,7 @@ Fig. 1(b) anomaly (baseline)   :func:`count_baseline_inconsistencies`
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.sequences import MessageSequence, as_sequence, common_prefix
 from repro.sim.trace import TraceEvent, TraceLog
@@ -389,6 +389,141 @@ def check_external_consistency(
                 f"epoch {event['epoch']} without undoing it"
             )
     return len(adoptions)
+
+
+# ----------------------------------------------------------------------
+# Sharded deployments (repro.sharding)
+# ----------------------------------------------------------------------
+
+def subtrace(trace: TraceLog, pids: Iterable[str]) -> TraceLog:
+    """The sub-log of events emitted by ``pids``, preserving order.
+
+    Sharded runs share one trace across all groups; the single-group
+    checkers (epoch-keyed consensus properties, majority guarantee) are
+    run per shard on the sub-log of that shard's servers plus the
+    clients.
+    """
+    wanted = set(pids)
+    filtered = TraceLog()
+    for event in trace:
+        if event.pid in wanted:
+            filtered.append(event)
+    return filtered
+
+
+def check_single_shard_properties(
+    trace: TraceLog,
+    servers: Sequence[Any],
+    client_pids: Iterable[str],
+    submitted_rids: Iterable[str],
+    strict: bool = True,
+    at_least_once: bool = True,
+) -> None:
+    """The full OAR property bundle, scoped to one shard's group.
+
+    ``submitted_rids`` must contain only requests routed to this shard
+    (single-shard operations and transaction branches alike).
+    """
+    shard_pids = [server.pid for server in servers]
+    shard_view = subtrace(trace, list(shard_pids) + list(client_pids))
+    group_size = len(servers)
+    check_cnsv_order_properties(shard_view, group_size)
+    check_majority_guarantee(shard_view, group_size)
+    check_at_most_once(shard_view, servers)
+    check_total_order(servers)
+    check_replica_convergence(servers)
+    check_external_consistency(shard_view, strict=strict)
+    if at_least_once:
+        correct = [server for server in servers if not server.crashed]
+        check_at_least_once(shard_view, correct, submitted_rids)
+
+
+def check_cross_shard_atomicity(
+    trace: TraceLog,
+    shard_servers: Sequence[Sequence[Any]],
+    expected_total: Optional[int] = None,
+    quiescent: bool = True,
+) -> int:
+    """Client-coordinated cross-shard transactions are atomic.
+
+    Always: decision branches for one transaction are homogeneous (all
+    ``tx_commit`` or all ``tx_abort``) and match the reported outcome.
+    With ``quiescent=True`` additionally: every begun transaction reached
+    a decision and completed; no correct server retains an escrow hold;
+    and, when ``expected_total`` is given (transfer-only workloads),
+    account balances plus escrow sum to it across shards -- no money is
+    created or destroyed by a transfer that commits on one shard and
+    aborts on the other.  Pass ``quiescent=False`` for runs cut off with
+    transactions still in flight (an undecided transaction is incomplete,
+    not non-atomic).  Returns the number of transactions examined.
+    """
+    begun = {event["txid"]: event for event in trace.events(kind="tx_begin")}
+    decisions: Dict[str, List[TraceEvent]] = defaultdict(list)
+    for event in trace.events(kind="tx_decide"):
+        decisions[event["txid"]].append(event)
+    finished = {event["txid"]: event for event in trace.events(kind="tx_adopt")}
+
+    for txid, begin in begun.items():
+        if txid not in decisions:
+            if quiescent:
+                raise CheckFailure(
+                    f"cross-shard atomicity: {txid} (op {begin['op']!r}) "
+                    f"began but never reached a commit/abort decision"
+                )
+            continue
+        outcomes = {event["outcome"] for event in decisions[txid]}
+        if len(outcomes) > 1:
+            raise CheckFailure(
+                f"cross-shard atomicity: {txid} has mixed decisions {outcomes}"
+            )
+        if txid not in finished:
+            if quiescent:
+                raise CheckFailure(
+                    f"cross-shard atomicity: {txid} decided "
+                    f"{next(iter(outcomes))} but its decision branches never "
+                    f"all completed"
+                )
+            continue
+        if finished[txid]["outcome"] not in outcomes:
+            raise CheckFailure(
+                f"cross-shard atomicity: {txid} finished as "
+                f"{finished[txid]['outcome']} but decided {outcomes}"
+            )
+    for txid in decisions:
+        if txid not in begun:
+            raise CheckFailure(
+                f"cross-shard atomicity: decision for unknown tx {txid}"
+            )
+
+    if not quiescent:
+        return len(begun)
+
+    observed_total = 0
+    have_bank_state = False
+    for shard_index, servers in enumerate(shard_servers):
+        correct = [server for server in servers if not server.crashed]
+        for server in correct:
+            machine = server.machine
+            if not hasattr(machine, "pending_holds"):
+                continue
+            have_bank_state = True
+            leftovers = machine.pending_holds()
+            if leftovers:
+                raise CheckFailure(
+                    f"cross-shard atomicity: {server.pid} (shard "
+                    f"{shard_index}) retains escrow holds at quiescence: "
+                    f"{sorted(leftovers)}"
+                )
+        if correct and hasattr(correct[0].machine, "conserved_total"):
+            observed_total += correct[0].machine.conserved_total()
+
+    if expected_total is not None and have_bank_state:
+        if observed_total != expected_total:
+            raise CheckFailure(
+                f"cross-shard conservation violated: balances + escrow sum "
+                f"to {observed_total}, expected {expected_total}"
+            )
+    return len(begun)
 
 
 # ----------------------------------------------------------------------

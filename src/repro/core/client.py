@@ -14,22 +14,46 @@ identical (Cnsv-order agreement).  A reply that could still be undone is
 endorsed by at most a minority (undo consistency), so it can never
 accumulate majority weight; conservative replies carry weight Π and win
 the largest-weight selection immediately.
+
+:class:`ShardedOARClient` extends the rule to a *partitioned* service
+(``repro.sharding``): each request is routed by its keys to one of N
+independent OAR groups, adoption runs per-group (each group has its own
+majority threshold), and multi-key operations that straddle groups run a
+client-coordinated two-phase commit whose branches are ordinary
+totally-ordered requests on their shards.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.broadcast.reliable import ReliableMulticast
 from repro.core.messages import Reply, Request
 from repro.sim.component import ComponentProcess
+from repro.statemachine.base import OpResult
 
 
 @dataclass(frozen=True)
 class AdoptedReply:
-    """The client's final outcome for one request."""
+    """The client's final outcome for one request.
+
+    For a cross-shard transaction (:class:`ShardedOARClient`) the adopted
+    reply is synthesized from the branch adoptions: ``position`` and
+    ``epoch`` are ``-1`` (there is no single-group position), ``weight``
+    is empty, and ``conservative`` is True only when every branch was
+    adopted conservatively.
+    """
 
     rid: str
     value: Any
@@ -49,16 +73,24 @@ class AdoptedReply:
 class _PendingRequest:
     """Reply bookkeeping for one in-flight request."""
 
-    __slots__ = ("op", "submit_time", "replies_by_epoch", "retries")
+    __slots__ = ("op", "group", "submit_time", "replies_by_epoch", "retries")
 
-    def __init__(self, op: Tuple[Any, ...], submit_time: float) -> None:
+    def __init__(
+        self, op: Tuple[Any, ...], group: Tuple[str, ...], submit_time: float
+    ) -> None:
         self.op = op
+        self.group = group
         self.submit_time = submit_time
         self.retries = 0
         # epoch -> {server pid -> Reply}; per server we keep the
         # heaviest reply seen for that epoch (a conservative reply
         # supersedes the server's earlier optimistic one).
         self.replies_by_epoch: Dict[int, Dict[str, Reply]] = {}
+
+    @property
+    def majority_weight(self) -> int:
+        """⌈(|group|+1)/2⌉ for the group this request was sent to."""
+        return len(self.group) // 2 + 1
 
 
 class OARClient(ComponentProcess):
@@ -69,7 +101,9 @@ class OARClient(ComponentProcess):
     pid:
         Client identifier (must not collide with server pids).
     servers:
-        Π, the server group the requests are R-multicast to.
+        Π, the server group the requests are R-multicast to (the default
+        target; :meth:`submit` accepts a per-request override so sharded
+        deployments can route to one group among several).
     on_adopt:
         Optional callback ``(AdoptedReply) -> None`` fired on adoption;
         closed-loop workload drivers use it to submit the next request.
@@ -100,7 +134,7 @@ class OARClient(ComponentProcess):
 
     @property
     def majority_weight(self) -> int:
-        """⌈(|Π|+1)/2⌉ (Fig. 5, line 3)."""
+        """⌈(|Π|+1)/2⌉ (Fig. 5, line 3) for the default server group."""
         return len(self.servers) // 2 + 1
 
     @property
@@ -110,17 +144,22 @@ class OARClient(ComponentProcess):
 
     # ------------------------------------------------------------------
 
-    def submit(self, op: Tuple[Any, ...]) -> str:
+    def submit(
+        self, op: Tuple[Any, ...], servers: Optional[Sequence[str]] = None
+    ) -> str:
         """OAR-multicast(m, Π): R-multicast the request, start collecting.
 
-        Returns the request id; the adopted reply appears in
-        :attr:`adopted` (and via the ``on_adopt`` callback).
+        ``servers`` overrides the target group for this request (the
+        sharded client routes each request to its key's group).  Returns
+        the request id; the adopted reply appears in :attr:`adopted` (and
+        via the ``on_adopt`` callback).
         """
+        group = self.servers if servers is None else tuple(servers)
         rid = f"{self.pid}-{next(self._counter)}"
         request = Request(rid=rid, client=self.pid, op=tuple(op))
-        self._pending[rid] = _PendingRequest(request.op, self.env.now)
+        self._pending[rid] = _PendingRequest(request.op, group, self.env.now)
         self.env.trace("submit", rid=rid, op=request.op)
-        self.rmc.multicast(request, self.servers)
+        self.rmc.multicast(request, group)
         if self.retry_interval is not None:
             self.env.set_timer(
                 self.retry_interval, lambda: self._maybe_retry(request)
@@ -134,7 +173,7 @@ class OARClient(ComponentProcess):
         pending.retries += 1
         self.retransmissions += 1
         self.env.trace("retransmit", rid=request.rid, attempt=pending.retries)
-        self.rmc.multicast(request, self.servers)
+        self.rmc.multicast(request, pending.group)
         self.env.set_timer(
             self.retry_interval, lambda: self._maybe_retry(request)
         )
@@ -163,7 +202,7 @@ class OARClient(ComponentProcess):
             union: set = set()
             for reply in replies.values():
                 union |= reply.weight
-            if len(union) < self.majority_weight:
+            if len(union) < pending.majority_weight:
                 continue
             heaviest = max(replies.values(), key=lambda r: len(r.weight))
             self._adopt(rid, pending, heaviest)
@@ -181,7 +220,6 @@ class OARClient(ComponentProcess):
             adopt_time=self.env.now,
         )
         del self._pending[rid]
-        self.adopted[rid] = adopted
         self.env.trace(
             "adopt",
             rid=rid,
@@ -192,6 +230,15 @@ class OARClient(ComponentProcess):
             conservative=reply.conservative,
             latency=adopted.latency,
         )
+        self._record_adoption(adopted)
+
+    def _record_adoption(self, adopted: AdoptedReply) -> None:
+        """Store the outcome and notify the workload driver.
+
+        Subclass hook: the sharded client intercepts transaction-branch
+        adoptions here and surfaces only whole-transaction outcomes.
+        """
+        self.adopted[adopted.rid] = adopted
         if self.on_adopt is not None:
             self.on_adopt(adopted)
 
@@ -200,3 +247,269 @@ class OARClient(ComponentProcess):
         raise RuntimeError(
             f"client R-delivered unexpected payload from {origin}: {payload!r}"
         )
+
+
+# ----------------------------------------------------------------------
+# Sharded client
+# ----------------------------------------------------------------------
+
+class _CrossShardTx:
+    """Coordinator state for one client-driven cross-shard transaction."""
+
+    __slots__ = (
+        "txid",
+        "op",
+        "submit_time",
+        "shards",
+        "prepare_rids",
+        "prepared",
+        "phase",
+        "decision_rids",
+        "decided",
+        "inflight",
+    )
+
+    def __init__(
+        self,
+        txid: str,
+        op: Tuple[Any, ...],
+        submit_time: float,
+        shards: Tuple[int, ...],
+    ) -> None:
+        self.txid = txid
+        self.op = op
+        self.submit_time = submit_time
+        self.shards = shards
+        self.prepare_rids: Dict[str, int] = {}  # branch rid -> shard
+        self.prepared: Dict[str, AdoptedReply] = {}
+        self.phase = "prepare"  # -> "commit" | "abort"
+        self.decision_rids: Set[str] = set()
+        self.decided: Dict[str, AdoptedReply] = {}
+        self.inflight = 0  # branches submitted but not yet adopted
+
+    @property
+    def all_prepared(self) -> bool:
+        return len(self.prepared) == len(self.prepare_rids)
+
+    @property
+    def prepare_ok(self) -> bool:
+        return all(
+            isinstance(a.value, OpResult) and a.value.ok
+            for a in self.prepared.values()
+        )
+
+
+class ShardedOARClient(OARClient):
+    """A client for a sharded OAR deployment (``repro.sharding``).
+
+    Single-key requests are routed by the shard router to their key's
+    group and adopted with that group's majority rule.  Multi-key
+    requests whose keys straddle groups are decomposed (via the state
+    machine's :meth:`~repro.statemachine.base.StateMachine.tx_branches`
+    hook) into per-shard prepare branches; once every branch is adopted,
+    the client decides commit (all prepares succeeded) or abort and
+    drives the decision branches.  Every branch is an ordinary request,
+    totally ordered by its shard's sequencer and adopted under the usual
+    weighted-quorum rule -- the cross-shard path adds no new consensus
+    machinery, only a state machine on top of adopted outcomes.
+
+    Parameters
+    ----------
+    pid:
+        Client identifier.
+    shard_groups:
+        One server group per shard, indexed by shard id.
+    router:
+        The deterministic key -> shard mapping shared with the cluster.
+    key_extractor:
+        ``op -> keys`` hook (usually ``Machine.keys_of``).
+    tx_planner:
+        ``(op, txid) -> {key: branch_op}`` hook (usually
+        ``Machine.tx_branches``) for cross-shard decomposition.
+    """
+
+    def __init__(
+        self,
+        pid: str,
+        shard_groups: Sequence[Sequence[str]],
+        router: Any,
+        key_extractor: Callable[[Tuple[Any, ...]], Tuple[Any, ...]],
+        tx_planner: Optional[
+            Callable[[Tuple[Any, ...], str], Optional[Dict[Any, Tuple[Any, ...]]]]
+        ] = None,
+        on_adopt: Optional[Callable[[AdoptedReply], None]] = None,
+        retry_interval: Optional[float] = None,
+    ) -> None:
+        groups = tuple(tuple(group) for group in shard_groups)
+        if router.n_shards != len(groups):
+            raise ValueError(
+                f"router has {router.n_shards} shards but "
+                f"{len(groups)} groups were given"
+            )
+        all_servers = [pid_ for group in groups for pid_ in group]
+        super().__init__(pid, all_servers, on_adopt, retry_interval)
+        self.shard_groups = groups
+        self.router = router
+        self.key_extractor = key_extractor
+        self.tx_planner = tx_planner
+        self._tx_counter = itertools.count()
+        self._txs: Dict[str, _CrossShardTx] = {}
+        self._branch_to_tx: Dict[str, str] = {}
+        #: Every physical request (single-shard ops and tx branches) and
+        #: the shard it was routed to; per-shard checkers use this.
+        self.routed: Dict[str, int] = {}
+        self.cross_shard_started = 0
+        self.cross_shard_committed = 0
+        self.cross_shard_aborted = 0
+
+    @property
+    def outstanding(self) -> int:
+        """In-flight physical requests plus any tx between phases.
+
+        A transaction always has a branch in flight between begin and
+        finish (decisions are submitted in the last prepare's adoption
+        event), so the second term is defensive.
+        """
+        stalled = sum(1 for tx in self._txs.values() if tx.inflight == 0)
+        return len(self._pending) + stalled
+
+    def shards_of(self, op: Tuple[Any, ...]) -> Tuple[int, ...]:
+        """The distinct shards an operation's keys map to (sorted).
+
+        Keyless operations get the deterministic fallback shard 0.
+        """
+        keys = tuple(self.key_extractor(tuple(op)))
+        if not keys:
+            return (0,)
+        return tuple(sorted({self.router.shard_of(key) for key in keys}))
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, op: Tuple[Any, ...], servers: Optional[Sequence[str]] = None
+    ) -> str:
+        """Route by key; fan a multi-shard op out as a 2PC transaction.
+
+        With an explicit ``servers`` group the request bypasses routing
+        (used by tests and by the coordinator's own branches).
+        """
+        if servers is not None:
+            return super().submit(op, servers)
+        op = tuple(op)
+        shards = self.shards_of(op)
+        if len(shards) == 1:
+            return self._submit_to_shard(op, shards[0])
+        return self._begin_cross_shard(op, shards)
+
+    def _submit_to_shard(self, op: Tuple[Any, ...], shard: int) -> str:
+        rid = super().submit(op, self.shard_groups[shard])
+        self.routed[rid] = shard
+        return rid
+
+    # ------------------------------------------------------------------
+    # Cross-shard two-phase commit (client as coordinator)
+    # ------------------------------------------------------------------
+
+    def _begin_cross_shard(self, op: Tuple[Any, ...], shards: Tuple[int, ...]) -> str:
+        txid = f"{self.pid}-x{next(self._tx_counter)}"
+        branches = None if self.tx_planner is None else self.tx_planner(op, txid)
+        if branches is None:
+            raise ValueError(
+                f"operation {op!r} spans shards {shards} but has no "
+                f"cross-shard decomposition (tx_branches returned None)"
+            )
+        per_shard: Dict[int, List[Tuple[Any, ...]]] = {}
+        for key, branch_op in branches.items():
+            per_shard.setdefault(self.router.shard_of(key), []).append(branch_op)
+        tx = _CrossShardTx(txid, op, self.env.now, tuple(sorted(per_shard)))
+        self._txs[txid] = tx
+        self.cross_shard_started += 1
+        self.env.trace("tx_begin", txid=txid, op=op, shards=tx.shards)
+        for shard in sorted(per_shard):
+            for branch_op in per_shard[shard]:
+                rid = self._submit_to_shard(branch_op, shard)
+                self._branch_to_tx[rid] = txid
+                tx.prepare_rids[rid] = shard
+                tx.inflight += 1
+        return txid
+
+    def _record_adoption(self, adopted: AdoptedReply) -> None:
+        txid = self._branch_to_tx.pop(adopted.rid, None)
+        if txid is None:
+            super()._record_adoption(adopted)
+            return
+        tx = self._txs[txid]
+        tx.inflight -= 1
+        self.env.trace(
+            "tx_branch_adopt", txid=txid, rid=adopted.rid, phase=tx.phase
+        )
+        if tx.phase == "prepare":
+            tx.prepared[adopted.rid] = adopted
+            if tx.all_prepared:
+                self._decide(tx)
+        else:
+            tx.decided[adopted.rid] = adopted
+            if len(tx.decided) == len(tx.decision_rids):
+                self._finish_tx(tx)
+
+    def _decide(self, tx: _CrossShardTx) -> None:
+        commit = tx.prepare_ok
+        tx.phase = "commit" if commit else "abort"
+        # Commit goes to every participant; abort only to shards whose
+        # prepare took a hold (a failed prepare left nothing to release).
+        if commit:
+            targets = set(tx.shards)
+        else:
+            targets = {
+                tx.prepare_rids[rid]
+                for rid, adopted in tx.prepared.items()
+                if isinstance(adopted.value, OpResult) and adopted.value.ok
+            }
+        self.env.trace(
+            "tx_decide",
+            txid=tx.txid,
+            outcome=tx.phase,
+            shards=tuple(sorted(targets)),
+        )
+        decision_op = ("tx_commit" if commit else "tx_abort", tx.txid)
+        for shard in sorted(targets):
+            rid = self._submit_to_shard(decision_op, shard)
+            self._branch_to_tx[rid] = tx.txid
+            tx.decision_rids.add(rid)
+            tx.inflight += 1
+        if not targets:
+            self._finish_tx(tx)
+
+    def _finish_tx(self, tx: _CrossShardTx) -> None:
+        del self._txs[tx.txid]
+        committed = tx.phase == "commit"
+        if committed:
+            self.cross_shard_committed += 1
+            value = OpResult(ok=True, value=("committed",) + tx.op)
+        else:
+            self.cross_shard_aborted += 1
+            reasons = "; ".join(
+                a.value.error
+                for a in tx.prepared.values()
+                if isinstance(a.value, OpResult) and not a.value.ok
+            )
+            value = OpResult(ok=False, error=f"tx aborted: {reasons}")
+        branch_adoptions = list(tx.prepared.values()) + list(tx.decided.values())
+        adopted = AdoptedReply(
+            rid=tx.txid,
+            value=value,
+            position=-1,
+            epoch=-1,
+            weight=(),
+            conservative=all(a.conservative for a in branch_adoptions),
+            submit_time=tx.submit_time,
+            adopt_time=self.env.now,
+        )
+        self.env.trace(
+            "tx_adopt",
+            txid=tx.txid,
+            outcome=tx.phase,
+            shards=tx.shards,
+            latency=adopted.latency,
+        )
+        super()._record_adoption(adopted)

@@ -66,6 +66,13 @@ class OARConfig:
         How often Task 1a runs at the sequencer.  ``0.0`` means "order
         immediately upon R-delivery" (lowest latency); a positive value
         batches requests, trading latency for fewer ordering messages.
+    order_cost:
+        Per-request service time at the sequencer (Task 1a).  ``0.0``
+        (the default) keeps the paper's idealized instant sequencer; a
+        positive value models the real bottleneck -- one ordering
+        pipeline that processes requests serially at rate
+        ``1/order_cost`` -- which is what caps a single group's
+        throughput and what sharding (``repro.sharding``) multiplies.
     rotate_sequencer:
         Use the rotating-coordinator scheme of Section 5.3 (new sequencer
         after each phase 2).  Disabling it reproduces the "crashed
@@ -83,6 +90,7 @@ class OARConfig:
     """
 
     batch_interval: float = 0.0
+    order_cost: float = 0.0
     rotate_sequencer: bool = True
     gc_after_requests: Optional[int] = None
     gc_interval: Optional[float] = None
@@ -101,6 +109,8 @@ class OARConfig:
     def __post_init__(self) -> None:
         if self.batch_interval < 0:
             raise ValueError("batch_interval must be >= 0")
+        if self.order_cost < 0:
+            raise ValueError("order_cost must be >= 0")
         if 0 < self.batch_interval < self.MIN_INTERVAL:
             raise ValueError(
                 f"batch_interval {self.batch_interval} is below the "
@@ -172,6 +182,11 @@ class OARServer(ComponentProcess):
 
         # Pending Cnsv-order result waiting for missing New requests.
         self._pending_result: Optional[CnsvOrderResult] = None
+
+        # Sequencer service model (OARConfig.order_cost): the epoch whose
+        # batch is currently being serviced, and the frozen batch itself.
+        self._order_busy_epoch: Optional[int] = None
+        self._order_batch: MessageSequence = EMPTY
 
         self._opt_delivery_count_this_epoch = 0
 
@@ -294,6 +309,38 @@ class OARServer(ComponentProcess):
         not_delivered = self._unordered().subtract(self._opt_pending)
         if not not_delivered:
             return
+        if self.config.order_cost > 0:
+            if self._order_busy_epoch is not None:
+                return  # a batch is in service; arrivals wait their turn
+            # Freeze the batch now and charge for exactly what will be
+            # emitted, so the ordering pipeline saturates at 1/order_cost
+            # requests per time unit regardless of arrival rate.
+            self._order_busy_epoch = self.epoch
+            self._order_batch = not_delivered
+            delay = self.config.order_cost * len(not_delivered)
+            self.env.set_timer(delay, self._emit_costed_order)
+            return
+        self._send_order(not_delivered)
+
+    def _emit_costed_order(self) -> None:
+        epoch = self._order_busy_epoch
+        self._order_busy_epoch = None
+        batch, self._order_batch = self._order_batch, EMPTY
+        if self.phase == 1 and self.is_sequencer and self.epoch == epoch:
+            # A conservative phase may have settled part of the batch in
+            # the meantime; only the still-unordered remainder is sent.
+            remainder = (
+                batch.subtract(self.a_delivered)
+                .subtract(self.o_delivered)
+                .subtract(self._opt_pending)
+            )
+            if remainder:
+                self._send_order(remainder)
+        # Service the backlog that accumulated during this batch (or, if
+        # the epoch moved on, let the normal triggers take over).
+        self._maybe_order()
+
+    def _send_order(self, not_delivered: MessageSequence) -> None:
         order = SeqOrder(self.epoch, not_delivered.items)
         self.env.trace("seq_order", epoch=self.epoch, rids=order.rids)
         for member in self.group:

@@ -16,12 +16,22 @@ from repro.harness.scenario import (
     run_scenario,
 )
 from repro.harness.tables import Table, write_result
+from repro.sharding import (
+    ShardedRun,
+    ShardedScenarioConfig,
+    build_sharded_scenario,
+    run_sharded_scenario,
+)
 
 __all__ = [
     "ScenarioConfig",
     "ScenarioRun",
+    "ShardedRun",
+    "ShardedScenarioConfig",
     "Table",
     "build_scenario",
+    "build_sharded_scenario",
     "run_scenario",
+    "run_sharded_scenario",
     "write_result",
 ]

@@ -1,0 +1,41 @@
+"""Sharded (partitioned) optimistic active replication.
+
+One OAR group totally orders everything through a single sequencer; this
+package multiplies that pipeline.  A deterministic
+:class:`~repro.sharding.router.ShardRouter` maps every key to one of N
+independent replication groups (each a complete OAR deployment with its
+own sequencer, replicas, epochs and undo log), the sharded client
+(:class:`~repro.core.client.ShardedOARClient`) fans requests out by key,
+and multi-key operations that straddle groups run a client-coordinated
+two-phase escrow commit whose branches are ordinary totally-ordered
+requests -- no new consensus machinery.
+
+Entry points mirror the unsharded harness:
+:func:`~repro.sharding.cluster.run_sharded_scenario` builds and runs a
+full deployment from a declarative
+:class:`~repro.sharding.cluster.ShardedScenarioConfig`.
+"""
+
+from repro.sharding.cluster import (
+    ShardedRun,
+    ShardedScenarioConfig,
+    build_sharded_scenario,
+    run_sharded_scenario,
+)
+from repro.sharding.router import (
+    HashShardRouter,
+    RangeShardRouter,
+    ShardRouter,
+    make_router,
+)
+
+__all__ = [
+    "HashShardRouter",
+    "RangeShardRouter",
+    "ShardRouter",
+    "ShardedRun",
+    "ShardedScenarioConfig",
+    "build_sharded_scenario",
+    "make_router",
+    "run_sharded_scenario",
+]

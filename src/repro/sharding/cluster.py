@@ -1,0 +1,397 @@
+"""A sharded OAR deployment: N independent replication groups, one service.
+
+The paper's protocol totally orders *all* requests through a single
+sequencer, which caps throughput at one ordering pipeline.  The sharded
+cluster partitions the state machine by key (``repro.sharding.router``)
+and runs one full OAR group -- its own sequencer, replicas, undo logs,
+failure detectors and epochs -- per shard, all hosted on one
+deterministic simulator so every existing checker and fault-injection
+tool applies unchanged.
+
+Consistency contract:
+
+* per shard, everything the paper guarantees (total order, at-most/least
+  once, external consistency of adopted replies);
+* across shards, *atomicity* of multi-key operations via the client-
+  coordinated escrow 2PC (see :class:`~repro.core.client.ShardedOARClient`
+  and the ``tx_*`` operations of
+  :class:`~repro.statemachine.bank.BankMachine`) -- checked by
+  :func:`~repro.analysis.checkers.check_cross_shard_atomicity`.
+
+There is deliberately *no* global order across shards: operations on
+different shards are independent, which is exactly why throughput scales
+(cf. Optimistic Parallel State-Machine Replication, Marandi & Pedone
+2014).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis import checkers
+from repro.core.client import ShardedOARClient
+from repro.core.server import OARConfig, OARServer
+from repro.failure.detector import (
+    FailureDetector,
+    HeartbeatFailureDetector,
+    ScriptedFailureDetector,
+)
+from repro.faults.injection import FaultSchedule
+from repro.sharding.router import ShardRouter, make_router
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.loop import Simulator
+from repro.sim.network import SimNetwork
+from repro.sim.process import Process
+from repro.sim.trace import TraceLog
+from repro.statemachine import (
+    BankMachine,
+    CounterMachine,
+    KVStoreMachine,
+    StackMachine,
+    StateMachine,
+)
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generators import (
+    counter_ops,
+    cross_shard_bank_ops,
+    kv_ops,
+    stack_ops,
+    zipfian_kv_ops,
+)
+
+SHARDED_MACHINES = ("kv", "bank", "counter", "stack")
+WORKLOADS = ("uniform", "zipf", "cross")
+
+
+@dataclass
+class ShardedScenarioConfig:
+    """Everything needed to reproduce one sharded experiment run."""
+
+    n_shards: int = 2
+    n_servers: int = 3  #: replicas *per shard*
+    n_clients: int = 2
+    requests_per_client: int = 20
+    machine: str = "kv"
+    router: str = "hash"  #: "hash" or "range"
+    seed: int = 0
+
+    #: Workload family: "uniform" (kv over a flat key universe), "zipf"
+    #: (kv, skewed), "cross" (bank transfers with a cross-shard mix).
+    workload: str = "uniform"
+    n_keys: int = 32
+    zipf_s: float = 1.2
+    cross_ratio: float = 0.3
+    accounts_per_shard: int = 4
+    initial_balance: int = 1_000
+
+    latency: Optional[LatencyModel] = None
+    fd_kind: str = "heartbeat"
+    fd_interval: float = 5.0
+    fd_timeout: float = 15.0
+    oar: OARConfig = field(default_factory=OARConfig)
+
+    driver: str = "closed"
+    open_rate: float = 0.2
+    think_time: float = 0.0
+    retry_interval: Optional[float] = None
+
+    fault_schedule: Optional[FaultSchedule] = None
+    arm: Optional[Callable[["ShardedRun"], None]] = None
+
+    horizon: float = 20_000.0
+    max_events: int = 4_000_000
+    grace: float = 50.0
+    trace_messages: bool = False
+
+    def with_changes(self, **changes: Any) -> "ShardedScenarioConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ShardedRun:
+    """A built (and, after ``execute``, completed) sharded deployment."""
+
+    config: ShardedScenarioConfig
+    sim: Simulator
+    network: SimNetwork
+    router: ShardRouter
+    shard_groups: Tuple[Tuple[str, ...], ...]
+    shards: List[List[OARServer]]  #: servers, indexed by shard
+    clients: List[ShardedOARClient]
+    drivers: List[Any]
+    detectors: Dict[str, FailureDetector]
+    key_universe: Tuple[str, ...]
+    initial_total: Optional[int]  #: bank only: conserved money supply
+
+    @property
+    def trace(self) -> TraceLog:
+        return self.network.trace
+
+    @property
+    def servers(self) -> List[OARServer]:
+        """All servers across shards (shard-major order)."""
+        return [server for shard in self.shards for server in shard]
+
+    @property
+    def client_pids(self) -> List[str]:
+        return [client.pid for client in self.clients]
+
+    def correct_servers(self, shard: int) -> List[OARServer]:
+        return [s for s in self.shards[shard] if not s.crashed]
+
+    def submitted_rids(self) -> List[str]:
+        """Logical submissions (cross-shard txids count once)."""
+        return [rid for driver in self.drivers for rid in driver.submitted]
+
+    def adopted(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for client in self.clients:
+            merged.update(client.adopted)
+        return merged
+
+    def latencies(self) -> List[float]:
+        """Client-perceived logical latencies (whole transactions)."""
+        return [adopted.latency for adopted in self.adopted().values()]
+
+    def all_done(self) -> bool:
+        return all(driver.done for driver in self.drivers)
+
+    def routed_to(self, shard: int) -> List[str]:
+        """Physical rids (ops and tx branches) routed to one shard."""
+        return [
+            rid
+            for client in self.clients
+            for rid, target in client.routed.items()
+            if target == shard
+        ]
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> "ShardedRun":
+        """Run to quiescence (+ grace period); returns self for chaining."""
+        config = self.config
+        if config.fault_schedule is not None:
+            config.fault_schedule.apply(
+                self.network, list(self.detectors.values())
+            )
+        if config.arm is not None:
+            config.arm(self)
+        deadline = config.horizon
+
+        def finished() -> bool:
+            return self.all_done() or self.sim.now >= deadline
+
+        self.sim.run_until(finished, max_events=config.max_events)
+        self.sim.run(until=self.sim.now + config.grace, max_events=config.max_events)
+        return self
+
+    # ------------------------------------------------------------------
+    # Checker bundle
+    # ------------------------------------------------------------------
+
+    def check_all(self, strict: bool = True, at_least_once: bool = True) -> None:
+        """Per-shard paper properties plus cross-shard atomicity.
+
+        Completeness checks (at-least-once, every transaction decided,
+        no leftover escrow, conservation) only apply to quiescent runs;
+        a run cut off mid-flight is checked for safety only.
+        """
+        quiescent = self.all_done()
+        for shard, servers in enumerate(self.shards):
+            checkers.check_single_shard_properties(
+                self.trace,
+                servers,
+                self.client_pids,
+                self.routed_to(shard),
+                strict=strict,
+                at_least_once=at_least_once and quiescent,
+            )
+        checkers.check_cross_shard_atomicity(
+            self.trace,
+            self.shards,
+            expected_total=self.initial_total,
+            quiescent=quiescent,
+        )
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+def _key_universe(config: ShardedScenarioConfig) -> Tuple[str, ...]:
+    if config.machine == "bank":
+        count = config.accounts_per_shard * config.n_shards
+        return tuple(f"a{i:03d}" for i in range(count))
+    return tuple(f"k{i:03d}" for i in range(config.n_keys))
+
+
+def _machine_class(kind: str) -> type:
+    return {
+        "kv": KVStoreMachine,
+        "bank": BankMachine,
+        "counter": CounterMachine,
+        "stack": StackMachine,
+    }[kind]
+
+
+def _make_machine(
+    config: ShardedScenarioConfig, accounts: Tuple[str, ...]
+) -> StateMachine:
+    if config.machine == "kv":
+        return KVStoreMachine()
+    if config.machine == "bank":
+        return BankMachine({account: config.initial_balance for account in accounts})
+    if config.machine == "counter":
+        return CounterMachine()
+    if config.machine == "stack":
+        return StackMachine()
+    raise ValueError(
+        f"unknown machine kind: {config.machine} (choose from {SHARDED_MACHINES})"
+    )
+
+
+def _make_ops(
+    config: ShardedScenarioConfig,
+    rng: random.Random,
+    key_universe: Tuple[str, ...],
+    accounts_by_shard: Tuple[Tuple[str, ...], ...],
+) -> Iterator[Tuple[Any, ...]]:
+    if config.machine == "counter":
+        return counter_ops()
+    if config.machine == "stack":
+        return stack_ops(rng)
+    if config.machine == "bank":
+        if config.workload == "cross":
+            return cross_shard_bank_ops(
+                rng, accounts_by_shard, cross_ratio=config.cross_ratio
+            )
+        return cross_shard_bank_ops(rng, accounts_by_shard, cross_ratio=0.0)
+    if config.workload == "zipf":
+        return zipfian_kv_ops(rng, key_universe, s=config.zipf_s)
+    return kv_ops(rng, keys=key_universe)
+
+
+def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
+    """Construct (but do not run) the sharded deployment."""
+    if config.machine not in SHARDED_MACHINES:
+        raise ValueError(
+            f"unknown machine kind: {config.machine} "
+            f"(choose from {SHARDED_MACHINES})"
+        )
+    if config.workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload: {config.workload} (choose from {WORKLOADS})"
+        )
+    if config.workload == "cross" and config.machine != "bank":
+        raise ValueError("the cross-shard workload requires the bank machine")
+
+    sim = Simulator(seed=config.seed)
+    latency = config.latency if config.latency is not None else ConstantLatency(1.0)
+    network = SimNetwork(sim, latency=latency, trace_messages=config.trace_messages)
+
+    key_universe = _key_universe(config)
+    router = make_router(config.router, config.n_shards, key_universe)
+    accounts_by_shard = router.placement(key_universe)
+
+    shard_groups = tuple(
+        tuple(f"s{shard}.p{i + 1}" for i in range(config.n_servers))
+        for shard in range(config.n_shards)
+    )
+
+    detectors: Dict[str, FailureDetector] = {}
+
+    def fd_factory(group: Tuple[str, ...]) -> Callable[[Process], FailureDetector]:
+        def build(host: Process) -> FailureDetector:
+            if config.fd_kind == "heartbeat":
+                detector: FailureDetector = HeartbeatFailureDetector(
+                    host,
+                    monitored=group,
+                    interval=config.fd_interval,
+                    timeout=config.fd_timeout,
+                )
+            elif config.fd_kind == "scripted":
+                detector = ScriptedFailureDetector()
+            else:
+                raise ValueError(f"unknown fd kind: {config.fd_kind}")
+            detectors[host.pid] = detector
+            return detector
+
+        return build
+
+    shards: List[List[OARServer]] = []
+    for shard, group in enumerate(shard_groups):
+        servers: List[OARServer] = []
+        for pid in group:
+            machine = _make_machine(config, accounts_by_shard[shard])
+            server = OARServer(pid, group, machine, fd_factory(group), config.oar)
+            servers.append(server)
+            network.add_process(server)
+        shards.append(servers)
+
+    machine_cls = _machine_class(config.machine)
+    clients: List[ShardedOARClient] = []
+    for index in range(config.n_clients):
+        client = ShardedOARClient(
+            f"c{index + 1}",
+            shard_groups,
+            router,
+            key_extractor=machine_cls.keys_of,
+            tx_planner=machine_cls.tx_branches,
+            retry_interval=config.retry_interval,
+        )
+        clients.append(client)
+        network.add_process(client)
+
+    network.start_all()
+
+    drivers: List[Any] = []
+    for client in clients:
+        ops_rng = sim.child_rng(f"ops/{client.pid}")
+        ops = _make_ops(config, ops_rng, key_universe, accounts_by_shard)
+        if config.driver == "closed":
+            driver: Any = ClosedLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                think_time=config.think_time,
+                start_at=0.0,
+            )
+        elif config.driver == "open":
+            driver = OpenLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                rate=config.open_rate,
+                rng=sim.child_rng(f"arrivals/{client.pid}"),
+            )
+        else:
+            raise ValueError(f"unknown driver kind: {config.driver}")
+        drivers.append(driver)
+
+    initial_total = None
+    if config.machine == "bank":
+        initial_total = config.initial_balance * len(key_universe)
+
+    return ShardedRun(
+        config=config,
+        sim=sim,
+        network=network,
+        router=router,
+        shard_groups=shard_groups,
+        shards=shards,
+        clients=clients,
+        drivers=drivers,
+        detectors=detectors,
+        key_universe=key_universe,
+        initial_total=initial_total,
+    )
+
+
+def run_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
+    """Build and execute a sharded scenario; the one-call entry point."""
+    return build_sharded_scenario(config).execute()

@@ -1,0 +1,112 @@
+"""Deterministic key -> shard routing.
+
+The router is the one piece of the sharded architecture every party must
+agree on -- clients route requests with it, the cluster builder places
+bank accounts with it, and the atomicity checker re-derives placements
+from it.  Routing therefore has to be a pure function of the key that is
+stable *across processes and Python invocations*: the hash strategy uses
+SHA-1 of the key's UTF-8 encoding, never the interpreter's salted
+``hash()``.
+
+Two strategies are provided:
+
+* :class:`HashShardRouter` -- uniform placement, oblivious to key
+  semantics; the default.
+* :class:`RangeShardRouter` -- ordered placement by boundary keys, the
+  building block for range scans and locality-aware placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Optional, Sequence, Tuple
+
+
+class ShardRouter:
+    """Base class: map every key to one of ``n_shards`` shard indexes."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def shard_of(self, key: Any) -> int:
+        """The shard index of ``key``; deterministic across processes."""
+        raise NotImplementedError
+
+    def placement(self, keys: Sequence[Any]) -> Tuple[Tuple[Any, ...], ...]:
+        """Partition ``keys`` by shard: a tuple of per-shard key tuples."""
+        shards: Tuple[list, ...] = tuple([] for _ in range(self.n_shards))
+        for key in keys:
+            shards[self.shard_of(key)].append(key)
+        return tuple(tuple(shard) for shard in shards)
+
+
+class HashShardRouter(ShardRouter):
+    """SHA-1 of the key's string form, modulo the shard count.
+
+    Any key with a stable ``str()`` works, including the empty string
+    (``str`` keys are used verbatim so ``"1"`` and ``1`` route
+    identically only if their string forms agree -- keys should be
+    strings in practice).
+    """
+
+    def shard_of(self, key: Any) -> int:
+        digest = hashlib.sha1(str(key).encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.n_shards
+
+    def __repr__(self) -> str:
+        return f"HashShardRouter(n_shards={self.n_shards})"
+
+
+class RangeShardRouter(ShardRouter):
+    """Route by key order: shard i owns keys in [boundaries[i-1], boundaries[i]).
+
+    ``boundaries`` are the ``n_shards - 1`` split points, sorted
+    ascending; keys below the first boundary go to shard 0, keys at or
+    above the last go to the final shard.  Keys must be mutually
+    comparable with the boundaries (strings with strings, etc.).
+    """
+
+    def __init__(self, n_shards: int, boundaries: Sequence[Any]) -> None:
+        super().__init__(n_shards)
+        if len(boundaries) != n_shards - 1:
+            raise ValueError(
+                f"{n_shards} shards need {n_shards - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        ordered = list(boundaries)
+        if ordered != sorted(ordered):
+            raise ValueError(f"boundaries must be sorted: {boundaries!r}")
+        self.boundaries: Tuple[Any, ...] = tuple(ordered)
+
+    def shard_of(self, key: Any) -> int:
+        return bisect.bisect_right(self.boundaries, key)
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeShardRouter(n_shards={self.n_shards}, "
+            f"boundaries={self.boundaries!r})"
+        )
+
+
+def make_router(
+    kind: str,
+    n_shards: int,
+    key_universe: Optional[Sequence[Any]] = None,
+) -> ShardRouter:
+    """Build a router by name; ``range`` derives even boundaries from
+    the sorted ``key_universe`` (required for that strategy)."""
+    if kind == "hash":
+        return HashShardRouter(n_shards)
+    if kind == "range":
+        if n_shards == 1:
+            return RangeShardRouter(1, ())
+        if not key_universe:
+            raise ValueError("range routing needs a key universe")
+        ordered = sorted(key_universe)
+        step = len(ordered) / n_shards
+        boundaries = [ordered[int(step * i)] for i in range(1, n_shards)]
+        return RangeShardRouter(n_shards, boundaries)
+    raise ValueError(f"unknown router kind: {kind} (choose from hash, range)")

@@ -18,13 +18,39 @@ Operations::
 
 Amounts are integers (cents); negative amounts are rejected
 deterministically.
+
+Cross-shard transactions (``repro.sharding``) add an escrow protocol so a
+transfer whose accounts live in *different* replication groups stays
+atomic.  The sharded client decomposes the transfer into per-shard
+branches (see :meth:`BankMachine.tx_branches`), each an ordinary
+replicated request on its shard::
+
+    ("tx_prepare", txid, "debit", account, amount)
+        -> ok, remaining balance; moves the amount out of the account
+           into escrow under ``txid`` (error on overdraft -- the whole
+           transaction then aborts)
+    ("tx_prepare", txid, "credit", account, amount)
+        -> ok, current balance; records the pending credit (applied only
+           at commit, so an aborting transfer never exposes funds)
+    ("tx_commit", txid)                  -> ok; debit escrow is released
+                                            (the money left this shard),
+                                            credit is applied
+    ("tx_abort", txid)                   -> ok; debit escrow returns to the
+                                            account, credit is dropped
+
+The conserved quantity under transfer-only workloads is
+:meth:`conserved_total` = account balances + escrowed debits, summed
+across all shards; the cross-shard atomicity checker asserts it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.statemachine.base import OpResult, StateMachine
+
+#: One escrow entry: ("debit" | "credit", account, amount).
+HoldEntry = Tuple[str, str, int]
 
 
 class BankMachine(StateMachine):
@@ -32,19 +58,70 @@ class BankMachine(StateMachine):
 
     def __init__(self, initial_accounts: Dict[str, int] = None) -> None:
         self._accounts: Dict[str, int] = dict(initial_accounts or {})
+        self._holds: Dict[str, HoldEntry] = {}
 
-    def state(self) -> Dict[str, int]:
-        return self._accounts
+    def state(self) -> Dict[str, Any]:
+        return {"accounts": self._accounts, "holds": self._holds}
 
-    def restore(self, snapshot: Dict[str, int]) -> None:
-        self._accounts = dict(snapshot)
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        self._accounts = dict(snapshot["accounts"])
+        self._holds = dict(snapshot["holds"])
 
-    def fingerprint(self) -> Tuple[Tuple[str, int], ...]:
-        return tuple(sorted(self._accounts.items()))
+    def fingerprint(self) -> Tuple[Tuple[Any, ...], ...]:
+        accounts = tuple(sorted(self._accounts.items()))
+        if not self._holds:
+            return accounts
+        return accounts + (("__holds__", tuple(sorted(self._holds.items()))),)
 
     def total_balance(self) -> int:
         """Conserved under deposit-free workloads; used by invariant tests."""
         return sum(self._accounts.values())
+
+    def escrowed_total(self) -> int:
+        """Funds debited but not yet committed (in flight between shards)."""
+        return sum(
+            amount for kind, _account, amount in self._holds.values()
+            if kind == "debit"
+        )
+
+    def conserved_total(self) -> int:
+        """Balances + escrow: the cross-shard conservation invariant."""
+        return self.total_balance() + self.escrowed_total()
+
+    def pending_holds(self) -> Dict[str, HoldEntry]:
+        """Escrow entries of transactions not yet committed or aborted."""
+        return dict(self._holds)
+
+    # ------------------------------------------------------------------
+    # Sharding hooks
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def keys_of(op: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """The accounts an operation touches (its routing keys)."""
+        name = op[0] if op else None
+        if name in ("open", "deposit", "withdraw", "balance") and len(op) >= 2:
+            return (op[1],)
+        if name == "transfer" and len(op) == 4:
+            return (op[1], op[2])
+        if name == "tx_prepare" and len(op) == 5:
+            return (op[3],)
+        return ()  # total / tx_commit / tx_abort: routed explicitly
+
+    @staticmethod
+    def tx_branches(
+        op: Tuple[Any, ...], txid: str
+    ) -> Optional[Dict[Any, Tuple[Any, ...]]]:
+        """Split a transfer into a debit and a credit prepare branch."""
+        if op and op[0] == "transfer" and len(op) == 4:
+            src, dst, amount = op[1], op[2], op[3]
+            return {
+                src: ("tx_prepare", txid, "debit", src, amount),
+                dst: ("tx_prepare", txid, "credit", dst, amount),
+            }
+        return None
+
+    # ------------------------------------------------------------------
 
     def apply(self, op: Tuple[Any, ...]) -> OpResult:
         result, _undo = self.apply_with_undo(op)
@@ -116,7 +193,68 @@ class BankMachine(StateMachine):
         if name == "total" and len(op) == 1:
             return OpResult(ok=True, value=self.total_balance()), _noop
 
+        if name == "tx_prepare" and len(op) == 5:
+            return self._tx_prepare(op[1], op[2], op[3], op[4])
+
+        if name == "tx_commit" and len(op) == 2:
+            return self._tx_finish(op[1], commit=True)
+
+        if name == "tx_abort" and len(op) == 2:
+            return self._tx_finish(op[1], commit=False)
+
         return self.bad_op(op), _noop
+
+    # ------------------------------------------------------------------
+    # Escrow protocol (cross-shard two-phase commit branches)
+    # ------------------------------------------------------------------
+
+    def _tx_prepare(
+        self, txid: str, kind: str, account: str, amount: Any
+    ) -> Tuple[OpResult, Callable[[], None]]:
+        if kind not in ("debit", "credit"):
+            return OpResult(ok=False, error=f"tx_prepare: bad kind {kind!r}"), _noop
+        if txid in self._holds:
+            return OpResult(ok=False, error=f"tx_prepare: {txid} exists"), _noop
+        error = self._check(account, amount)
+        if error:
+            return error, _noop
+        if kind == "debit":
+            if self._accounts[account] < amount:
+                return (
+                    OpResult(ok=False, error=f"tx_prepare: overdraft on {account}"),
+                    _noop,
+                )
+            self._accounts[account] -= amount
+        self._holds[txid] = (kind, account, amount)
+
+        def undo_prepare() -> None:
+            del self._holds[txid]
+            if kind == "debit":
+                self._accounts[account] += amount
+
+        return OpResult(ok=True, value=self._accounts[account]), undo_prepare
+
+    def _tx_finish(self, txid: str, commit: bool) -> Tuple[OpResult, Callable[[], None]]:
+        hold = self._holds.get(txid)
+        verb = "tx_commit" if commit else "tx_abort"
+        if hold is None:
+            return OpResult(ok=False, error=f"{verb}: no such tx {txid}"), _noop
+        kind, account, amount = hold
+        del self._holds[txid]
+        # Commit applies a pending credit (a committed debit simply leaves
+        # this shard); abort returns an escrowed debit to its account.
+        applied = (commit and kind == "credit") or (not commit and kind == "debit")
+        if applied:
+            self._accounts[account] += amount
+
+        def undo_finish() -> None:
+            if applied:
+                self._accounts[account] -= amount
+            self._holds[txid] = hold
+
+        return OpResult(ok=True, value=self._accounts[account]), undo_finish
+
+    # ------------------------------------------------------------------
 
     def _check(self, account: str, amount: Any) -> OpResult:
         """Shared precondition checks; returns an error result or None."""

@@ -41,6 +41,34 @@ class StateMachine:
         """Apply ``op`` and return its result.  Must be deterministic."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Sharding hooks (repro.sharding)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def keys_of(op: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """The data items ``op`` touches, for shard routing.
+
+        ``()`` means the operation has no routable key (whole-state reads,
+        global counters); the sharded client sends those to a fixed
+        fallback shard.  Must be a pure function of the operation.
+        """
+        return ()
+
+    @staticmethod
+    def tx_branches(
+        op: Tuple[Any, ...], txid: str
+    ) -> "dict[Any, Tuple[Any, ...]] | None":
+        """Decompose a multi-key ``op`` into per-key prepare branches.
+
+        Returns ``{key: branch_op}`` where each branch is a single-key
+        operation (routed to the key's shard and totally ordered there),
+        or ``None`` when the operation cannot run across shards.  The
+        sharded client commits the branches with a second phase of
+        ``("tx_commit", txid)`` / ``("tx_abort", txid)`` requests.
+        """
+        return None
+
     def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
         """Apply ``op`` and also return a closure that undoes it.
 

@@ -33,6 +33,13 @@ class KVStoreMachine(StateMachine):
     def fingerprint(self) -> Tuple[Tuple[Any, Any], ...]:
         return tuple(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
 
+    @staticmethod
+    def keys_of(op: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """set/get/delete/cas touch exactly op[1]; ``keys`` is global."""
+        if len(op) >= 2 and op[0] in ("set", "get", "delete", "cas"):
+            return (op[1],)
+        return ()
+
     def apply(self, op: Tuple[Any, ...]) -> OpResult:
         result, _undo = self.apply_with_undo(op)
         return result

@@ -10,8 +10,10 @@ from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workload.generators import (
     bank_ops,
     counter_ops,
+    cross_shard_bank_ops,
     kv_ops,
     stack_ops,
+    zipfian_kv_ops,
 )
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "OpenLoopDriver",
     "bank_ops",
     "counter_ops",
+    "cross_shard_bank_ops",
     "kv_ops",
     "stack_ops",
+    "zipfian_kv_ops",
 ]

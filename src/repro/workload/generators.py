@@ -7,6 +7,7 @@ entire workload.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import random
 from typing import Any, Iterator, Sequence, Tuple
@@ -52,6 +53,92 @@ def kv_ops(
             yield ("cas", key, f"v{next(counter)}", f"v{next(counter)}")
         else:
             yield ("get", key)
+
+
+def zipfian_kv_ops(
+    rng: random.Random,
+    keys: Sequence[str],
+    s: float = 1.2,
+    write_ratio: float = 0.7,
+) -> Iterator[Op]:
+    """Skewed reads/writes: key popularity follows a Zipf(s) law.
+
+    The canonical sharding stress: with high skew most traffic lands on
+    the hot keys' shards, so aggregate goodput stops scaling with shard
+    count -- the benchmark quantifies exactly that.  ``keys[0]`` is the
+    hottest key.
+    """
+    if not keys:
+        raise ValueError("zipfian workload needs at least one key")
+    if s < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    weights = [1.0 / (rank ** s) for rank in range(1, len(keys) + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    counter = itertools.count()
+
+    def pick() -> str:
+        index = bisect.bisect_left(cdf, rng.random())
+        return keys[min(index, len(keys) - 1)]
+
+    while True:
+        key = pick()
+        if rng.random() < write_ratio:
+            yield ("set", key, f"v{next(counter)}")
+        else:
+            yield ("get", key)
+
+
+def cross_shard_bank_ops(
+    rng: random.Random,
+    accounts_by_shard: Sequence[Sequence[str]],
+    cross_ratio: float = 0.3,
+    read_ratio: float = 0.2,
+) -> Iterator[Op]:
+    """Transfers with a controlled fraction straddling shard boundaries.
+
+    Only transfers and balance reads are generated, so the global
+    ``conserved_total`` of the bank machines is invariant -- the
+    cross-shard atomicity checker relies on that.  ``cross_ratio`` is the
+    probability that a transfer's source and destination live on
+    different shards (requires at least two shards holding accounts).
+    """
+    populated = [list(accounts) for accounts in accounts_by_shard if accounts]
+    if not populated:
+        raise ValueError("no shard holds any account")
+    all_accounts = [account for shard in populated for account in shard]
+    multi = [shard for shard in populated if len(shard) >= 2]
+
+    def cross_transfer() -> Op:
+        src_shard, dst_shard = rng.sample(populated, 2)
+        return (
+            "transfer",
+            rng.choice(src_shard),
+            rng.choice(dst_shard),
+            rng.randint(1, 25),
+        )
+
+    while True:
+        roll = rng.random()
+        if roll < read_ratio:
+            yield ("balance", rng.choice(all_accounts))
+        elif roll < read_ratio + cross_ratio and len(populated) >= 2:
+            yield cross_transfer()
+        elif multi:
+            shard = rng.choice(multi)
+            src, dst = rng.sample(shard, 2)
+            yield ("transfer", src, dst, rng.randint(1, 25))
+        elif len(populated) >= 2:
+            # Degenerate placement (every shard holds one account):
+            # all transfers are necessarily cross-shard.
+            yield cross_transfer()
+        else:
+            # One shard, one account: reads are the only legal op.
+            yield ("balance", all_accounts[0])
 
 
 def bank_ops(

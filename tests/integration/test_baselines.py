@@ -7,6 +7,9 @@ from repro.broadcast.sequencer import OrderMsg
 from repro.faults import FaultSchedule, crash_during_multicast
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 def make_anomaly_config(seed: int, lost_order_index: int = 4) -> ScenarioConfig:
     """A sequencer-baseline config armed to hit the Figure 1(b) window.

@@ -15,6 +15,9 @@ from repro.faults import crash_during_multicast
 from repro.harness import ScenarioConfig, run_scenario
 from repro.harness.scenario import build_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 class TestGroupSizeBoundaries:
     def test_single_server_group(self):

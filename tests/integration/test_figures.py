@@ -16,6 +16,11 @@ from repro.harness.figures import (
     run_figure_4,
 )
 
+import pytest
+
+pytestmark = pytest.mark.integration
+
+
 M1, M2, M3, M4 = "c1-0", "c1-1", "c1-2", "c1-3"  # figure 2/3 request ids
 
 

@@ -6,6 +6,9 @@ from repro.core.server import OARConfig
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 def crash_config(n_servers, victim, when, seed, **kwargs):
     return ScenarioConfig(

@@ -5,6 +5,9 @@ import pytest
 from repro.harness import ScenarioConfig, run_scenario
 from repro.sim.latency import LanProfile, UniformLatency
 
+pytestmark = pytest.mark.integration
+
+
 
 class TestFastPath:
     @pytest.mark.parametrize("n_servers", [3, 4, 5, 7])

@@ -6,6 +6,9 @@ from repro.core.server import OARConfig
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 class TestWrongSuspicion:
     def test_wrongly_suspected_sequencer_stays_consistent(self):

@@ -12,6 +12,9 @@ from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, run_scenario
 from repro.harness.figures import run_figure_4
 
+pytestmark = pytest.mark.integration
+
+
 
 class TestParanoidMode:
     def test_silent_on_clean_run(self):

@@ -14,6 +14,9 @@ from repro.analysis import checkers
 from repro.faults import FaultSchedule, random_fault_schedule
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 def run_with_schedule(seed: int, n_servers: int = 3, **overrides):
     rng = random.Random(seed)

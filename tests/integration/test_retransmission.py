@@ -17,6 +17,11 @@ from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.statemachine import CounterMachine
 
+import pytest
+
+pytestmark = pytest.mark.integration
+
+
 
 def build(retry_interval=10.0):
     sim = Simulator(seed=5)

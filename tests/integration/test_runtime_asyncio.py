@@ -12,6 +12,9 @@ from repro.failure.detector import HeartbeatFailureDetector
 from repro.runtime import AsyncioCluster, TcpCluster
 from repro.statemachine import CounterMachine
 
+pytestmark = pytest.mark.integration
+
+
 
 def build_cluster(cluster, n_servers: int = 3, fd_interval: float = 0.2,
                   fd_timeout: float = 1.0) -> Tuple[List[OARServer], OARClient]:

@@ -10,6 +10,9 @@ import pytest
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.integration
+
+
 
 class TestLargeGroups:
     def test_nine_replicas_failure_free(self):

@@ -14,6 +14,11 @@ from hypothesis import strategies as st
 from repro.core.cnsv_order import compute_bad_new, decision_from_vector
 from repro.core.sequences import EMPTY, MessageSequence, common_prefix
 
+import pytest
+
+pytestmark = pytest.mark.property
+
+
 
 @st.composite
 def cnsv_inputs(draw):

@@ -18,6 +18,11 @@ from repro.sim.latency import UniformLatency
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 
+import pytest
+
+pytestmark = pytest.mark.property
+
+
 FUZZ_SETTINGS = settings(
     max_examples=40,
     deadline=None,

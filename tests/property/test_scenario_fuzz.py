@@ -16,6 +16,11 @@ from hypothesis import strategies as st
 from repro.faults import FaultSchedule
 from repro.harness import ScenarioConfig, run_scenario
 
+import pytest
+
+pytestmark = pytest.mark.property
+
+
 SCENARIO_SETTINGS = settings(
     max_examples=30,
     deadline=None,

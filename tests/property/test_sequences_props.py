@@ -14,6 +14,11 @@ from repro.core.sequences import (
     merge_dedup,
 )
 
+import pytest
+
+pytestmark = pytest.mark.property
+
+
 # Small alphabets maximize collisions, which is where the interesting
 # behaviour of dedup/subtract/merge lives.
 items = st.text(alphabet="abcdef", min_size=1, max_size=2)

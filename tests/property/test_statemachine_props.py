@@ -21,6 +21,11 @@ from repro.statemachine import (
     StackMachine,
 )
 
+import pytest
+
+pytestmark = pytest.mark.property
+
+
 # -- operation strategies ----------------------------------------------
 
 stack_op = st.one_of(

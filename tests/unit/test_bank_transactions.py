@@ -1,0 +1,168 @@
+"""Unit tests for the bank escrow protocol and the sharding hooks."""
+
+import pytest
+
+from repro.statemachine import (
+    BankMachine,
+    CounterMachine,
+    KVStoreMachine,
+    StackMachine,
+)
+
+pytestmark = pytest.mark.unit
+
+
+class TestEscrowPrepare:
+    def test_debit_moves_funds_to_escrow(self):
+        m = BankMachine({"a": 100})
+        result = m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        assert result.ok and result.value == 70
+        assert m.total_balance() == 70
+        assert m.escrowed_total() == 30
+        assert m.conserved_total() == 100
+        assert m.pending_holds() == {"t1": ("debit", "a", 30)}
+
+    def test_credit_defers_application(self):
+        m = BankMachine({"b": 50})
+        result = m.apply(("tx_prepare", "t1", "credit", "b", 30))
+        assert result.ok and result.value == 50  # not yet credited
+        assert m.total_balance() == 50
+        assert m.escrowed_total() == 0  # credits hold no funds
+        assert m.pending_holds() == {"t1": ("credit", "b", 30)}
+
+    def test_debit_overdraft_rejected(self):
+        m = BankMachine({"a": 10})
+        result = m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        assert not result.ok and "overdraft" in result.error
+        assert m.pending_holds() == {}
+        assert m.total_balance() == 10
+
+    def test_duplicate_txid_rejected(self):
+        m = BankMachine({"a": 100})
+        assert m.apply(("tx_prepare", "t1", "debit", "a", 10)).ok
+        dup = m.apply(("tx_prepare", "t1", "debit", "a", 10))
+        assert not dup.ok and "exists" in dup.error
+        assert m.total_balance() == 90  # only the first hold applied
+
+    def test_missing_account_and_bad_amount(self):
+        m = BankMachine({"a": 100})
+        assert not m.apply(("tx_prepare", "t1", "debit", "ghost", 10)).ok
+        assert not m.apply(("tx_prepare", "t2", "debit", "a", -5)).ok
+        assert not m.apply(("tx_prepare", "t3", "flight", "a", 5)).ok
+        assert m.pending_holds() == {}
+
+
+class TestEscrowFinish:
+    def test_commit_applies_credit(self):
+        m = BankMachine({"b": 50})
+        m.apply(("tx_prepare", "t1", "credit", "b", 30))
+        result = m.apply(("tx_commit", "t1"))
+        assert result.ok and result.value == 80
+        assert m.pending_holds() == {}
+
+    def test_commit_releases_debit(self):
+        m = BankMachine({"a": 100})
+        m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        assert m.apply(("tx_commit", "t1")).ok
+        # The money left this shard: balances drop, escrow is empty.
+        assert m.total_balance() == 70
+        assert m.conserved_total() == 70
+        assert m.pending_holds() == {}
+
+    def test_abort_returns_debit(self):
+        m = BankMachine({"a": 100})
+        m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        assert m.apply(("tx_abort", "t1")).ok
+        assert m.total_balance() == 100
+        assert m.pending_holds() == {}
+
+    def test_abort_drops_credit(self):
+        m = BankMachine({"b": 50})
+        m.apply(("tx_prepare", "t1", "credit", "b", 30))
+        assert m.apply(("tx_abort", "t1")).ok
+        assert m.total_balance() == 50
+        assert m.pending_holds() == {}
+
+    def test_finish_unknown_tx_is_deterministic_error(self):
+        m = BankMachine({"a": 100})
+        assert not m.apply(("tx_commit", "ghost")).ok
+        assert not m.apply(("tx_abort", "ghost")).ok
+
+
+class TestEscrowUndo:
+    """Opt-undeliver must roll escrow operations back exactly."""
+
+    def test_prepare_undo_restores_funds_and_holds(self):
+        m = BankMachine({"a": 100})
+        before = m.fingerprint()
+        _result, undo = m.apply_with_undo(("tx_prepare", "t1", "debit", "a", 30))
+        undo()
+        assert m.fingerprint() == before
+
+    def test_commit_undo_restores_hold(self):
+        m = BankMachine({"b": 50})
+        m.apply(("tx_prepare", "t1", "credit", "b", 30))
+        before = m.fingerprint()
+        _result, undo = m.apply_with_undo(("tx_commit", "t1"))
+        undo()
+        assert m.fingerprint() == before
+
+    def test_abort_undo_restores_hold(self):
+        m = BankMachine({"a": 100})
+        m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        before = m.fingerprint()
+        _result, undo = m.apply_with_undo(("tx_abort", "t1"))
+        undo()
+        assert m.fingerprint() == before
+
+    def test_snapshot_restore_covers_holds(self):
+        m = BankMachine({"a": 100})
+        m.apply(("tx_prepare", "t1", "debit", "a", 30))
+        snapshot = m.snapshot()
+        fingerprint = m.fingerprint()
+        m.apply(("tx_commit", "t1"))
+        m.restore(snapshot)
+        assert m.fingerprint() == fingerprint
+
+    def test_fingerprint_unchanged_without_holds(self):
+        # Replica-equality digests from pre-escrow runs stay valid.
+        m = BankMachine({"a": 1, "b": 2})
+        assert m.fingerprint() == (("a", 1), ("b", 2))
+
+
+class TestKeyExtraction:
+    def test_bank_keys(self):
+        keys_of = BankMachine.keys_of
+        assert keys_of(("deposit", "a", 5)) == ("a",)
+        assert keys_of(("withdraw", "a", 5)) == ("a",)
+        assert keys_of(("balance", "a")) == ("a",)
+        assert keys_of(("open", "a")) == ("a",)
+        assert keys_of(("transfer", "a", "b", 5)) == ("a", "b")
+        assert keys_of(("tx_prepare", "t1", "debit", "a", 5)) == ("a",)
+        assert keys_of(("tx_commit", "t1")) == ()
+        assert keys_of(("total",)) == ()
+
+    def test_kv_keys(self):
+        keys_of = KVStoreMachine.keys_of
+        assert keys_of(("set", "k", "v")) == ("k",)
+        assert keys_of(("get", "k")) == ("k",)
+        assert keys_of(("delete", "k")) == ("k",)
+        assert keys_of(("cas", "k", "old", "new")) == ("k",)
+        assert keys_of(("keys",)) == ()
+
+    def test_global_machines_are_keyless(self):
+        assert CounterMachine.keys_of(("incr",)) == ()
+        assert StackMachine.keys_of(("push", "x")) == ()
+
+
+class TestTxBranches:
+    def test_transfer_decomposes(self):
+        branches = BankMachine.tx_branches(("transfer", "a", "b", 25), "t9")
+        assert branches == {
+            "a": ("tx_prepare", "t9", "debit", "a", 25),
+            "b": ("tx_prepare", "t9", "credit", "b", 25),
+        }
+
+    def test_other_ops_do_not_decompose(self):
+        assert BankMachine.tx_branches(("deposit", "a", 5), "t1") is None
+        assert KVStoreMachine.tx_branches(("set", "k", "v"), "t1") is None

@@ -21,6 +21,9 @@ from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.statemachine import CounterMachine
 
+pytestmark = pytest.mark.unit
+
+
 
 def request(n: int, client: str = "c1") -> Request:
     return Request(rid=f"{client}-{n}", client=client, op=("incr",))

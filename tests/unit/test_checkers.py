@@ -18,6 +18,9 @@ from repro.analysis.checkers import (
 from repro.sim.trace import TraceLog
 from repro.statemachine import CounterMachine
 
+pytestmark = pytest.mark.unit
+
+
 
 class FakeServer:
     """Minimal stand-in exposing what the checkers consume."""

@@ -8,6 +8,9 @@ from repro.core.cnsv_order import (
 )
 from repro.core.sequences import EMPTY, MessageSequence, common_prefix
 
+pytestmark = pytest.mark.unit
+
+
 
 def decision(*pairs):
     """Build a decision: pairs of (pid, dlv tuple, notdlv tuple)."""

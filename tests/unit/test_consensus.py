@@ -11,6 +11,9 @@ from repro.sim.latency import ConstantLatency
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 
+pytestmark = pytest.mark.unit
+
+
 
 class Participant(ComponentProcess):
     def __init__(self, pid: str, group: List[str], fd=None, collect="majority") -> None:

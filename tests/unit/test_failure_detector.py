@@ -11,6 +11,11 @@ from repro.sim.latency import ConstantLatency
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 
+import pytest
+
+pytestmark = pytest.mark.unit
+
+
 
 class Monitored(ComponentProcess):
     """A process whose only job is running a heartbeat failure detector."""

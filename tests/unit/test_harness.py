@@ -17,6 +17,9 @@ from repro.sim.latency import (
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 
+pytestmark = pytest.mark.unit
+
+
 
 class TestScenarioConfig:
     def test_unknown_protocol_rejected(self):

@@ -10,6 +10,9 @@ from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.sim.process import Process
 
+pytestmark = pytest.mark.unit
+
+
 
 class Recorder(Process):
     """Records every message it receives."""

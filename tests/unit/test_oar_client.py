@@ -9,6 +9,11 @@ from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.sim.process import Process
 
+import pytest
+
+pytestmark = pytest.mark.unit
+
+
 
 class Sink(Process):
     """Stands in for a server: absorbs the R-multicast requests."""

@@ -18,6 +18,9 @@ from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 from repro.statemachine import CounterMachine
 
+pytestmark = pytest.mark.unit
+
+
 
 def build(n: int = 3, config: OARConfig = None, seed: int = 0):
     sim = Simulator(seed=seed)

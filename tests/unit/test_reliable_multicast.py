@@ -9,6 +9,11 @@ from repro.sim.latency import ConstantLatency
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
 
+import pytest
+
+pytestmark = pytest.mark.unit
+
+
 
 class Member(ComponentProcess):
     def __init__(self, pid: str) -> None:

@@ -8,6 +8,9 @@ import pytest
 from repro.runtime.host import AsyncioCluster
 from repro.sim.process import Process
 
+pytestmark = pytest.mark.unit
+
+
 
 class Recorder(Process):
     def __init__(self, pid: str) -> None:

@@ -10,6 +10,9 @@ from repro.core.sequences import (
     merge_dedup,
 )
 
+pytestmark = pytest.mark.unit
+
+
 
 class TestConstruction:
     def test_empty(self):

@@ -4,6 +4,9 @@ import pytest
 
 from repro.sim.loop import Simulator
 
+pytestmark = pytest.mark.unit
+
+
 
 class TestScheduling:
     def test_events_fire_in_time_order(self):

@@ -10,6 +10,9 @@ from repro.statemachine import (
     UndoLog,
 )
 
+pytestmark = pytest.mark.unit
+
+
 
 class TestStackMachine:
     def test_push_pop_lifo(self):

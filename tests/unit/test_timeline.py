@@ -3,6 +3,11 @@
 from repro.analysis.timeline import MARKERS, describe_run, render_timeline
 from repro.sim.trace import TraceLog
 
+import pytest
+
+pytestmark = pytest.mark.unit
+
+
 
 def make_trace():
     log = TraceLog()

@@ -11,6 +11,9 @@ from repro.analysis.stats import (
 from repro.harness.tables import Table, write_result
 from repro.sim.trace import TraceEvent, TraceLog
 
+pytestmark = pytest.mark.unit
+
+
 
 class TestTraceLog:
     def test_record_and_filter(self):

@@ -10,6 +10,9 @@ from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workload.generators import bank_ops, counter_ops, kv_ops, stack_ops
 from repro.harness import ScenarioConfig, run_scenario
 
+pytestmark = pytest.mark.unit
+
+
 
 def take(iterator, n):
     return list(itertools.islice(iterator, n))
