@@ -1,0 +1,112 @@
+"""Run the perf suite and write ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py            # full suite
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick \
+        --check-against BENCH_perf.json                          # CI gate
+
+The CI gate fails when the measured kernel dispatch rate regresses more
+than 30% against the committed pre-PR baseline recorded in the given
+file.  The gate compares against the *pre-PR* number on purpose: the
+optimization's >3x margin is the headroom that keeps the gate meaningful
+on CI machines slower than the reference box, while a real loss of the
+fast path (back to pre-PR speed) still trips it.  The gate also verifies
+the fixed-seed determinism digest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.perf.harness import (  # noqa: E402
+    GOLDEN_DIGEST,
+    format_table,
+    run_suite,
+    write_payload,
+)
+
+#: A regression of more than this fraction against the committed kernel
+#: baseline fails the CI gate.
+REGRESSION_TOLERANCE = 0.30
+
+
+def check_against(payload: dict, committed_path: str) -> int:
+    """Gate: kernel dispatch within tolerance of the committed baseline."""
+    with open(committed_path) as handle:
+        committed = json.load(handle)
+    baseline = committed["baseline_pre_pr"]["kernel_events_per_sec"]
+    measured = payload["results"]["kernel_events_per_sec"]
+    floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+    failures = []
+    if measured < floor:
+        failures.append(
+            f"kernel dispatch regressed: {measured:,.0f} events/s is below "
+            f"{floor:,.0f} (70% of the committed pre-PR baseline "
+            f"{baseline:,.0f})"
+        )
+    expected_digest = committed.get("golden_digest", GOLDEN_DIGEST)
+    if payload["golden_digest"] != expected_digest:
+        failures.append(
+            "determinism broken: fixed-seed scenario digest "
+            f"{payload['golden_digest']} != committed {expected_digest}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate ok: kernel {measured:,.0f} events/s "
+        f">= {floor:,.0f}; digest matches"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workloads (CI smoke)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="best-of-N repeats per benchmark"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON payload (default: BENCH_perf.json at the "
+        "repo root in full mode, BENCH_perf_quick.json in quick mode)",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="FILE",
+        default=None,
+        help="fail (exit 1) if kernel events/s regresses >30%% against the "
+        "committed baseline in FILE, or if the determinism digest drifts",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_suite(quick=args.quick, repeats=args.repeats)
+    print(format_table(payload))
+
+    output = args.output
+    if output is None:
+        name = "BENCH_perf_quick.json" if args.quick else "BENCH_perf.json"
+        output = os.path.join(REPO_ROOT, name)
+    write_payload(payload, output)
+    print(f"\nwrote {output}")
+
+    if args.check_against is not None:
+        return check_against(payload, args.check_against)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

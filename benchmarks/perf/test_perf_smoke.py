@@ -1,0 +1,44 @@
+"""Smoke tests for the perf harness (catches harness bitrot in tier-1).
+
+These do not assert absolute speed -- machines differ -- only that every
+benchmark runs, produces sane numbers, and that the kernel fast path is
+actually faster than a trivially slow floor.  The determinism digest is
+asserted exactly (it is machine-independent).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf import harness
+
+pytestmark = pytest.mark.bench
+
+
+def test_suite_runs_quick_and_payload_is_complete(tmp_path):
+    payload = harness.run_suite(quick=True, repeats=1)
+    for bench in harness.BENCHES:
+        assert payload["results"][bench.key] > 0
+    assert payload["mode"] == "quick"
+    # Rate-style micros are compared against the pre-PR baseline even in
+    # quick mode; quick wall-clocks are not (different workload sizes).
+    assert set(payload["speedup_vs_pre_pr"]) == set(harness.RATE_KEYS)
+    # The payload is JSON-serializable and round-trips.
+    out = tmp_path / "perf.json"
+    harness.write_payload(payload, str(out))
+    assert json.loads(out.read_text())["schema"] == 1
+    # Table rendering covers every benchmark.
+    table = harness.format_table(payload)
+    for bench in harness.BENCHES:
+        assert bench.label in table
+
+
+def test_golden_digest_is_stable():
+    assert harness.golden_scenario_digest() == harness.GOLDEN_DIGEST
+
+
+def test_kernel_dispatch_uses_fast_lane():
+    """The cascade must beat a conservative floor that even modest
+    hardware exceeds with the fast lane but not without it."""
+    rate = max(harness.kernel_dispatch(60_000) for _ in range(2))
+    assert rate > 500_000, f"kernel dispatch suspiciously slow: {rate:,.0f}/s"

@@ -47,7 +47,12 @@ def reconstruct_delivered(trace: TraceLog, pid: str) -> List[str]:
     ``current_order``; :func:`check_at_most_once` verifies both.
     """
     delivered: List[str] = []
-    for event in trace.events(pid=pid):
+    # The kind index keeps this O(delivery events) even on traces that
+    # are dominated by other kinds (message-level tracing, heartbeats).
+    deliveries = trace.events_of_kinds(
+        ("opt_deliver", "a_deliver", "opt_undeliver"), pid=pid
+    )
+    for event in deliveries:
         if event.kind == "opt_deliver":
             delivered.append(event["rid"])
         elif event.kind == "a_deliver":
@@ -405,9 +410,10 @@ def subtrace(trace: TraceLog, pids: Iterable[str]) -> TraceLog:
     """
     wanted = set(pids)
     filtered = TraceLog()
+    append = filtered.append
     for event in trace:
         if event.pid in wanted:
-            filtered.append(event)
+            append(event)
     return filtered
 
 

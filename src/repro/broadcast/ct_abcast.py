@@ -19,7 +19,8 @@ concatenation (⊎), skipping already-delivered messages.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Sequence, Set, Tuple
 
 from repro.broadcast.reliable import ReliableMulticast
 from repro.consensus.chandra_toueg import ConsensusManager
@@ -57,7 +58,10 @@ class CTAtomicBroadcastServer(ComponentProcess):
         self._delivered_set: Set[str] = set()
         self._instance = 0
         self._proposing = False
-        self._deliver_queue: List[str] = []  # decided rids awaiting bodies
+        # Decided rids awaiting bodies.  A deque: this was a list popped
+        # with pop(0), which turned a long decided-but-unknown backlog
+        # into an O(n^2) drain (perf regression guard -- keep popleft).
+        self._deliver_queue: Deque[str] = deque()
         self.rmc = self.add_component(ReliableMulticast(self, self._on_rdeliver))
         self.consensus = self.add_component(ConsensusManager(self, self.group, fd))
         if isinstance(fd, HeartbeatFailureDetector):
@@ -124,9 +128,10 @@ class CTAtomicBroadcastServer(ComponentProcess):
         self._maybe_start_instance()
 
     def _drain_deliver_queue(self) -> None:
-        while self._deliver_queue and self._deliver_queue[0] in self.requests:
-            rid = self._deliver_queue.pop(0)
-            self._deliver(rid)
+        queue = self._deliver_queue
+        requests = self.requests
+        while queue and queue[0] in requests:
+            self._deliver(queue.popleft())
 
     def _deliver(self, rid: str) -> None:
         request = self.requests[rid]

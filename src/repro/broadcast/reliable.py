@@ -27,7 +27,7 @@ from repro.sim.component import Component
 from repro.sim.process import Process
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RMsg:
     """The relay envelope of the reliable-multicast protocol."""
 
@@ -59,6 +59,18 @@ class ReliableMulticast(Component):
         self._deliver = deliver
         self._seen: Set[str] = set()
         self._counter = itertools.count()
+        # group -> (peers-other-than-self, self in group): multicast and
+        # relay fan out to the same few groups thousands of times, so the
+        # per-call "everyone but me" filtering is computed once per group.
+        self._fanout: dict = {}
+
+    def _group_fanout(self, group: Tuple[str, ...]) -> Tuple[Tuple[str, ...], bool]:
+        cached = self._fanout.get(group)
+        if cached is None:
+            pid = self.host.pid
+            cached = (tuple(m for m in group if m != pid), pid in group)
+            self._fanout[group] = cached
+        return cached
 
     def multicast(self, payload: Any, group: Sequence[str]) -> str:
         """R-multicast ``payload`` to ``group``; returns the message id.
@@ -68,13 +80,16 @@ class ReliableMulticast(Component):
         preserve handler mutual exclusion.
         """
         mid = f"{self.host.pid}:{next(self._counter)}"
-        message = RMsg(mid=mid, origin=self.host.pid, payload=payload, group=tuple(group))
+        group_tuple = tuple(group)
+        message = RMsg(mid=mid, origin=self.host.pid, payload=payload, group=group_tuple)
         self._seen.add(mid)
-        for member in group:
-            if member != self.host.pid:
-                self.env.send(member, message)
-        if self.host.pid in group:
-            self.env.set_timer(0.0, lambda: self._deliver(self.host.pid, payload))
+        peers, self_member = self._group_fanout(group_tuple)
+        env = self.env
+        send = env.send
+        for member in peers:
+            send(member, message)
+        if self_member:
+            env.post(0.0, lambda: self._deliver(self.host.pid, payload))
         return mid
 
     def on_message(self, src: str, payload: RMsg) -> None:
@@ -84,7 +99,8 @@ class ReliableMulticast(Component):
         self._seen.add(payload.mid)
         # Relay before delivering: if this process crashes inside the
         # delivery handler the relays have already left.
-        for member in payload.group:
-            if member != self.host.pid:
-                self.env.send(member, payload)
+        peers, _ = self._group_fanout(payload.group)
+        send = self.env.send
+        for member in peers:
+            send(member, payload)
         self._deliver(payload.origin, payload.payload)

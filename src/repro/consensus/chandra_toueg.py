@@ -52,7 +52,7 @@ DecisionVector = Tuple[Tuple[str, Any], ...]
 DecisionCallback = Callable[[Any, DecisionVector], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CEstimate:
     """Phase 1: a participant's current estimate, sent to the coordinator."""
 
@@ -63,7 +63,7 @@ class CEstimate:
     ts: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CProposal:
     """Phase 2: the coordinator's proposal for one round."""
 
@@ -72,7 +72,7 @@ class CProposal:
     value: DecisionVector
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CAck:
     """Phase 3: acceptance of the round's proposal."""
 
@@ -80,7 +80,7 @@ class CAck:
     round: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CNack:
     """Phase 3: rejection after suspecting the round's coordinator."""
 
@@ -88,7 +88,7 @@ class CNack:
     round: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CDecide:
     """The decision, disseminated by relay-on-first-receipt."""
 

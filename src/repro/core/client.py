@@ -73,7 +73,14 @@ class AdoptedReply:
 class _PendingRequest:
     """Reply bookkeeping for one in-flight request."""
 
-    __slots__ = ("op", "group", "submit_time", "replies_by_epoch", "retries")
+    __slots__ = (
+        "op",
+        "group",
+        "submit_time",
+        "replies_by_epoch",
+        "weight_by_epoch",
+        "retries",
+    )
 
     def __init__(
         self, op: Tuple[Any, ...], group: Tuple[str, ...], submit_time: float
@@ -86,6 +93,12 @@ class _PendingRequest:
         # heaviest reply seen for that epoch (a conservative reply
         # supersedes the server's earlier optimistic one).
         self.replies_by_epoch: Dict[int, Dict[str, Reply]] = {}
+        # epoch -> running union of endorsement weights.  Maintained
+        # incrementally on each reply so the majority check is O(|weight|)
+        # per reply instead of re-unioning every kept reply (weights
+        # within an epoch are nested, so the running union equals the
+        # union over the kept-heaviest replies).
+        self.weight_by_epoch: Dict[int, set] = {}
 
     @property
     def majority_weight(self) -> int:
@@ -194,19 +207,26 @@ class OARClient(ComponentProcess):
         previous = epoch_replies.get(src)
         if previous is None or len(reply.weight) > len(previous.weight):
             epoch_replies[src] = reply
-        self._check_adoption(reply.rid, pending)
+        union = pending.weight_by_epoch.get(reply.epoch)
+        if union is None:
+            union = pending.weight_by_epoch[reply.epoch] = set()
+        union |= reply.weight
+        self._check_adoption(reply.rid, pending, reply.epoch)
 
-    def _check_adoption(self, rid: str, pending: _PendingRequest) -> None:
-        """Fig. 5, lines 3-6: wait for majority weight, adopt heaviest."""
-        for epoch, replies in pending.replies_by_epoch.items():
-            union: set = set()
-            for reply in replies.values():
-                union |= reply.weight
-            if len(union) < pending.majority_weight:
-                continue
-            heaviest = max(replies.values(), key=lambda r: len(r.weight))
-            self._adopt(rid, pending, heaviest)
+    def _check_adoption(
+        self, rid: str, pending: _PendingRequest, epoch: int
+    ) -> None:
+        """Fig. 5, lines 3-6: wait for majority weight, adopt heaviest.
+
+        Only ``epoch`` (the one the just-arrived reply belongs to) can
+        have crossed the threshold: any other epoch's union is unchanged
+        since its own last check.
+        """
+        if len(pending.weight_by_epoch[epoch]) < pending.majority_weight:
             return
+        replies = pending.replies_by_epoch[epoch]
+        heaviest = max(replies.values(), key=lambda r: len(r.weight))
+        self._adopt(rid, pending, heaviest)
 
     def _adopt(self, rid: str, pending: _PendingRequest, reply: Reply) -> None:
         adopted = AdoptedReply(
@@ -358,6 +378,9 @@ class ShardedOARClient(OARClient):
         #: Every physical request (single-shard ops and tx branches) and
         #: the shard it was routed to; per-shard checkers use this.
         self.routed: Dict[str, int] = {}
+        #: Inverse index of :attr:`routed`, maintained at submit time so
+        #: per-shard checkers do not rescan every routed request per shard.
+        self._routed_by_shard: Dict[int, List[str]] = {}
         self.cross_shard_started = 0
         self.cross_shard_committed = 0
         self.cross_shard_aborted = 0
@@ -370,6 +393,8 @@ class ShardedOARClient(OARClient):
         finish (decisions are submitted in the last prepare's adoption
         event), so the second term is defensive.
         """
+        if not self._txs:  # quiescence predicates poll this per event
+            return len(self._pending)
         stalled = sum(1 for tx in self._txs.values() if tx.inflight == 0)
         return len(self._pending) + stalled
 
@@ -404,7 +429,15 @@ class ShardedOARClient(OARClient):
     def _submit_to_shard(self, op: Tuple[Any, ...], shard: int) -> str:
         rid = super().submit(op, self.shard_groups[shard])
         self.routed[rid] = shard
+        per_shard = self._routed_by_shard.get(shard)
+        if per_shard is None:
+            per_shard = self._routed_by_shard[shard] = []
+        per_shard.append(rid)
         return rid
+
+    def routed_to(self, shard: int) -> List[str]:
+        """Physical rids (ops and tx branches) this client routed to ``shard``."""
+        return list(self._routed_by_shard.get(shard, ()))
 
     # ------------------------------------------------------------------
     # Cross-shard two-phase commit (client as coordinator)

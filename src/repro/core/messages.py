@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, FrozenSet, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """A client request, R-multicast to the server group Π (Fig. 5, line 2).
 
@@ -28,7 +28,7 @@ class Request:
         return f"Request({self.rid}, {self.op})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reply:
     """A server's reply to a request (Fig. 6, lines 19 and 29).
 
@@ -57,7 +57,7 @@ class Reply:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SeqOrder:
     """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10)."""
 
@@ -68,7 +68,7 @@ class SeqOrder:
         return f"SeqOrder(k={self.epoch}, {{{';'.join(self.rids)}}})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PhaseII:
     """The ``(k, PhaseII)`` notification (Fig. 6, line 21).
 

@@ -23,6 +23,7 @@ transcriptions of the paper's definitions.
 from __future__ import annotations
 
 from typing import (
+    Dict,
     FrozenSet,
     Hashable,
     Iterable,
@@ -49,12 +50,26 @@ class MessageSequence:
     __slots__ = ("_items", "_index")
 
     def __init__(self, items: Iterable[Hashable] = ()) -> None:
-        seen = {}
-        for item in items:
-            if item not in seen:
-                seen[item] = None
+        # dict.fromkeys is C-speed first-occurrence dedup in insertion
+        # order -- this constructor is on the protocol hot path (every
+        # ⊕/⊖ allocates a new sequence).
+        seen = dict.fromkeys(items)
         self._items: Tuple[Hashable, ...] = tuple(seen)
         self._index = seen  # dict used as an ordered set for O(1) membership
+
+    @classmethod
+    def _make(
+        cls, items: Tuple[Hashable, ...], index: Dict[Hashable, None]
+    ) -> "MessageSequence":
+        """Internal: build from a pre-deduplicated tuple + matching index.
+
+        Skips the constructor's dedup pass; callers guarantee
+        ``tuple(index) == items``.
+        """
+        self = object.__new__(cls)
+        self._items = items
+        self._index = index
+        return self
 
     # -- basic container protocol ------------------------------------
 
@@ -113,6 +128,18 @@ class MessageSequence:
         which also makes ``concat`` usable as a building block for ⊎.
         """
         other_items = other.items if isinstance(other, MessageSequence) else tuple(other)
+        if not other_items:
+            return self
+        if not self._items and isinstance(other, MessageSequence):
+            return other
+        # Disjoint concatenation (the paper's common case) is pure
+        # C-speed dict work; overlap falls back to the dedup constructor.
+        index = self._index.copy()
+        before = len(index)
+        other_index = dict.fromkeys(other_items)
+        index.update(other_index)
+        if len(index) == before + len(other_index):
+            return MessageSequence._make(self._items + tuple(other_index), index)
         return MessageSequence(self._items + other_items)
 
     def subtract(self, other: SequenceLike) -> "MessageSequence":
@@ -121,7 +148,12 @@ class MessageSequence:
             exclude = other._index
         else:
             exclude = set(other)
-        return MessageSequence(item for item in self._items if item not in exclude)
+        if not exclude or not self._items:
+            return self
+        kept = [item for item in self._items if item not in exclude]
+        if len(kept) == len(self._items):
+            return self
+        return MessageSequence._make(tuple(kept), dict.fromkeys(kept))
 
     def is_prefix_of(self, other: "MessageSequence") -> bool:
         """True if self is a (possibly equal) prefix of other."""
@@ -136,8 +168,17 @@ class MessageSequence:
     # -- convenience --------------------------------------------------
 
     def append(self, item: Hashable) -> "MessageSequence":
-        """self ⊕ {item}."""
-        return self.concat((item,))
+        """self ⊕ {item}.
+
+        O(n) dict/tuple copies at C speed -- not the constructor's
+        Python-level dedup loop -- because every Opt-delivery appends to
+        ``O_delivered``.
+        """
+        if item in self._index:
+            return self  # first occurrence wins: nothing changes
+        index = self._index.copy()
+        index[item] = None
+        return MessageSequence._make(self._items + (item,), index)
 
     def suffix_from(self, index: int) -> "MessageSequence":
         """The suffix starting at position ``index``."""

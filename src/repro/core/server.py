@@ -36,8 +36,9 @@ R-broadcast a periodic PhaseII.  Benchmarks quantify the trade-off
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.consensus.chandra_toueg import ConsensusManager
 from repro.core.cnsv_order import (
@@ -153,6 +154,9 @@ class OARServer(ComponentProcess):
         if pid not in group:
             raise ValueError(f"{pid} not in server group {group}")
         self.group: Tuple[str, ...] = tuple(group)
+        #: Fan-out targets (everyone but us), precomputed once: the
+        #: ordering path sends to the same peers for every batch.
+        self.peers: Tuple[str, ...] = tuple(m for m in self.group if m != pid)
         self.machine = machine
         self.fd = resolve_fd(fd, self)
         fd = self.fd
@@ -170,8 +174,11 @@ class OARServer(ComponentProcess):
         self.undo_log = UndoLog()
 
         # Ordered by the sequencer but not yet executable (request body
-        # not R-delivered yet); drained in order by Task 0.
-        self._opt_pending: List[str] = []
+        # not R-delivered yet); drained in order by Task 0.  A deque:
+        # this used to be a list drained with pop(0), which made a long
+        # ordered-but-unknown backlog O(n^2) to drain (perf regression
+        # guard -- keep popleft here).
+        self._opt_pending: Deque[str] = deque()
 
         # Buffers for messages belonging to future epochs.
         self._future_orders: Dict[int, List[SeqOrder]] = {}
@@ -343,9 +350,9 @@ class OARServer(ComponentProcess):
     def _send_order(self, not_delivered: MessageSequence) -> None:
         order = SeqOrder(self.epoch, not_delivered.items)
         self.env.trace("seq_order", epoch=self.epoch, rids=order.rids)
-        for member in self.group:
-            if member != self.pid:
-                self.env.send(member, order)
+        send = self.env.send
+        for member in self.peers:
+            send(member, order)
         # The paper assumes the sequencer delivers its own ordering
         # message immediately (Section 5.3).
         self._task1b_order(self.pid, order)
@@ -384,9 +391,10 @@ class OARServer(ComponentProcess):
         """Opt-deliver ordered requests whose bodies have arrived, in order."""
         if self.phase != 1:
             return
-        while self._opt_pending and self._opt_pending[0] in self.requests:
-            rid = self._opt_pending.pop(0)
-            self._opt_deliver(rid)
+        pending = self._opt_pending
+        requests = self.requests
+        while pending and pending[0] in requests:
+            self._opt_deliver(pending.popleft())
 
     def _opt_deliver(self, rid: str) -> None:
         """Fig. 6, lines 12-19: process the request, reply optimistically."""

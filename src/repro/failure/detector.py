@@ -30,7 +30,7 @@ def resolve_fd(fd_or_factory: object, host: Process) -> "FailureDetector":
     raise TypeError(f"not a failure detector or factory: {fd_or_factory!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Periodic liveness message exchanged between group members."""
 

@@ -86,6 +86,10 @@ class ScenarioConfig:
     max_events: int = 2_000_000
     grace: float = 50.0
     trace_messages: bool = False
+    #: "full" keeps the checker-grade protocol trace; "off" disables all
+    #: tracing (zero-waste mode for throughput/soak runs -- ``check_all``
+    #: and trace-based metrics need "full").
+    trace_level: str = "full"
 
     def with_changes(self, **changes: Any) -> "ScenarioConfig":
         """A copy of this config with some fields replaced."""
@@ -143,13 +147,22 @@ class ScenarioRun:
         if config.arm is not None:
             config.arm(self)
         deadline = config.horizon
+        sim = self.sim
+        drivers = self.drivers
 
         def finished() -> bool:
-            return self.all_done() or self.sim.now >= deadline
+            # Horizon first: it is one float compare, the driver sweep is
+            # not, and this predicate runs after every event.
+            if sim._now >= deadline:
+                return True
+            for driver in drivers:
+                if not driver.done:
+                    return False
+            return True
 
-        self.sim.run_until(finished, max_events=config.max_events)
+        sim.run_until(finished, max_events=config.max_events)
         # Grace: let replies/settlements in flight land before checking.
-        self.sim.run(until=self.sim.now + config.grace, max_events=config.max_events)
+        sim.run(until=sim.now + config.grace, max_events=config.max_events)
         return self
 
     # ------------------------------------------------------------------
@@ -206,7 +219,12 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
         )
     sim = Simulator(seed=config.seed)
     latency = config.latency if config.latency is not None else ConstantLatency(1.0)
-    network = SimNetwork(sim, latency=latency, trace_messages=config.trace_messages)
+    network = SimNetwork(
+        sim,
+        latency=latency,
+        trace_messages=config.trace_messages,
+        trace_level=config.trace_level,
+    )
 
     group = [f"p{i + 1}" for i in range(config.n_servers)]
     detectors: Dict[str, FailureDetector] = {}

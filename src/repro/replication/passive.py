@@ -40,7 +40,7 @@ from repro.sim.component import ComponentProcess
 from repro.statemachine.base import StateMachine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateUpdate:
     """Primary-to-backup state propagation."""
 
@@ -51,7 +51,7 @@ class StateUpdate:
     snapshot: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateAck:
     seqno: int
 

@@ -81,6 +81,15 @@ class AsyncioEnv(ProcessEnv):
         handle_box.append(wrapped)
         return wrapped
 
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        """Handle-free timer: no AsyncioTimerHandle wrapper is allocated."""
+
+        def fire() -> None:
+            if not self._cluster.is_crashed(self._pid):
+                callback()
+
+        self._cluster.loop.call_later(delay, fire)
+
     def trace(self, kind: str, **fields: Any) -> None:
         self._cluster.trace.record(self._cluster.now, self._pid, kind, **fields)
 
@@ -100,10 +109,12 @@ class AsyncioCluster:
         asyncio.run(scenario())
     """
 
-    def __init__(self, link_delay: float = 0.0, seed: int = 0) -> None:
+    def __init__(
+        self, link_delay: float = 0.0, seed: int = 0, trace_level: str = "full"
+    ) -> None:
         self.link_delay = link_delay
         self.seed = seed
-        self.trace = TraceLog()
+        self.trace = TraceLog(level=trace_level)
         self._processes: Dict[str, Process] = {}
         self._inboxes: Dict[str, "asyncio.Queue[Tuple[str, Any]]"] = {}
         self._pumps: List[asyncio.Task] = []

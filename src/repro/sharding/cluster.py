@@ -104,6 +104,10 @@ class ShardedScenarioConfig:
     max_events: int = 4_000_000
     grace: float = 50.0
     trace_messages: bool = False
+    #: "full" keeps the checker-grade protocol trace; "off" disables all
+    #: tracing (zero-waste mode for throughput/soak runs -- ``check_all``
+    #: needs "full").
+    trace_level: str = "full"
 
     def with_changes(self, **changes: Any) -> "ShardedScenarioConfig":
         """A copy of this config with some fields replaced."""
@@ -162,10 +166,7 @@ class ShardedRun:
     def routed_to(self, shard: int) -> List[str]:
         """Physical rids (ops and tx branches) routed to one shard."""
         return [
-            rid
-            for client in self.clients
-            for rid, target in client.routed.items()
-            if target == shard
+            rid for client in self.clients for rid in client.routed_to(shard)
         ]
 
     # ------------------------------------------------------------------
@@ -180,12 +181,21 @@ class ShardedRun:
         if config.arm is not None:
             config.arm(self)
         deadline = config.horizon
+        sim = self.sim
+        drivers = self.drivers
 
         def finished() -> bool:
-            return self.all_done() or self.sim.now >= deadline
+            # Horizon first: one float compare vs a sweep over every
+            # driver, and this predicate runs after every event.
+            if sim._now >= deadline:
+                return True
+            for driver in drivers:
+                if not driver.done:
+                    return False
+            return True
 
-        self.sim.run_until(finished, max_events=config.max_events)
-        self.sim.run(until=self.sim.now + config.grace, max_events=config.max_events)
+        sim.run_until(finished, max_events=config.max_events)
+        sim.run(until=sim.now + config.grace, max_events=config.max_events)
         return self
 
     # ------------------------------------------------------------------
@@ -290,7 +300,12 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
 
     sim = Simulator(seed=config.seed)
     latency = config.latency if config.latency is not None else ConstantLatency(1.0)
-    network = SimNetwork(sim, latency=latency, trace_messages=config.trace_messages)
+    network = SimNetwork(
+        sim,
+        latency=latency,
+        trace_messages=config.trace_messages,
+        trace_level=config.trace_level,
+    )
 
     key_universe = _key_universe(config)
     router = make_router(config.router, config.n_shards, key_universe)

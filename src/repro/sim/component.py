@@ -56,9 +56,15 @@ class ComponentProcess(Process):
     def __init__(self, pid: str) -> None:
         super().__init__(pid)
         self._components: List[Component] = []
+        # payload class -> handling component (or None for app messages).
+        # isinstance dispatch over every component per message is hot-path
+        # cost; the exact payload class fully determines the outcome, so
+        # it is resolved once per class and cached.
+        self._dispatch_cache: dict = {}
 
     def add_component(self, component: Component) -> Component:
         self._components.append(component)
+        self._dispatch_cache.clear()  # new component may claim cached types
         return component
 
     def on_start(self) -> None:
@@ -66,10 +72,20 @@ class ComponentProcess(Process):
             component.start()
 
     def on_message(self, src: str, payload: Any) -> None:
-        for component in self._components:
-            if component.handles(payload):
-                component.on_message(src, payload)
-                return
+        cache = self._dispatch_cache
+        cls = payload.__class__
+        try:
+            component = cache[cls]
+        except KeyError:
+            component = None
+            for candidate in self._components:
+                if candidate.handles(payload):
+                    component = candidate
+                    break
+            cache[cls] = component
+        if component is not None:
+            component.on_message(src, payload)
+            return
         self.on_app_message(src, payload)
 
     def on_app_message(self, src: str, payload: Any) -> None:

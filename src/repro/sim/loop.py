@@ -1,8 +1,35 @@
 """The discrete-event simulation loop.
 
-The simulator maintains a priority queue of timestamped events.  Events
-scheduled for the same instant fire in the order they were scheduled, which
-is what preserves FIFO delivery for messages that share an arrival time.
+The simulator maintains two event stores:
+
+* a priority queue (binary heap) of timestamped events in the future, and
+* a **same-instant fast lane** (a plain FIFO deque) for events scheduled
+  at the *current* instant (``call_soon``, zero-delay delivery).
+
+Events scheduled for the same instant fire in the order they were
+scheduled, which is what preserves FIFO delivery for messages that share
+an arrival time.  The fast lane preserves that contract without paying
+the heap's ``O(log n)`` push/pop per event: an event created *at* instant
+``t`` always fires after every heap event stamped ``t`` (those were
+necessarily scheduled before the clock reached ``t``), and fast-lane
+events fire in append order among themselves -- exactly the global
+scheduling order the heap's tie-breaking counter used to enforce.
+
+Scheduling comes in two flavours:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  cancellable :class:`TimerHandle` -- use these for *timers* (heartbeats,
+  retransmissions, batch ticks) that protocol logic may want to cancel.
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` /
+  :meth:`Simulator.call_soon` are **handle-free**: no ``TimerHandle`` is
+  allocated and nothing can cancel the event.  Message deliveries never
+  cancel, so the network schedules through these and the per-message
+  allocation disappears from the hot path.
+
+Cancellation is lazy (the entry stays queued and is skipped when popped),
+but the simulator counts dead entries and compacts the heap when more
+than half of it is cancelled, so cancel-heavy workloads (heartbeat
+failure detectors re-arming timeouts) cannot bloat the queue.
 
 All randomness used anywhere in a simulation must come from
 :attr:`Simulator.rng` (or a child generator obtained via
@@ -13,8 +40,25 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple, Union
+
 import random
-from typing import Callable, List, Optional, Tuple
+
+#: Heap entries: (when, tie-break counter, handle-or-None, callback).
+#: ``handle`` is None for handle-free posts -- nothing to allocate, check
+#: or cancel.
+_HeapEntry = Tuple[float, int, Optional["TimerHandle"], Callable[[], None]]
+
+#: Fast-lane entries are bare callbacks (handle-free posts) or the
+#: TimerHandle itself (cancellable same-instant timers); the run loop
+#: dispatches on the entry's class.
+_FastEntry = Union[Callable[[], None], "TimerHandle"]
+
+#: Compaction threshold: rebuild the heap once more than half of at least
+#: this many queued entries are cancelled.  Small queues are never worth
+#: compacting.
+_COMPACT_MIN = 64
 
 
 class TimerHandle:
@@ -24,16 +68,28 @@ class TimerHandle:
     it reaches the front.  ``fired`` reports whether the callback ran.
     """
 
-    __slots__ = ("cancelled", "fired", "deadline")
+    __slots__ = ("cancelled", "fired", "deadline", "_sim", "_callback")
 
-    def __init__(self, deadline: float) -> None:
+    def __init__(
+        self,
+        deadline: float,
+        sim: Optional["Simulator"] = None,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.cancelled = False
         self.fired = False
         self.deadline = deadline
+        self._sim = sim
+        self._callback = callback
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if it already ran)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            # Fast-lane handles carry their callback; heap handles don't.
+            self._sim._note_cancel(in_fast_lane=self._callback is not None)
 
     @property
     def active(self) -> bool:
@@ -53,10 +109,16 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: List[Tuple[float, int, TimerHandle, Callable[[], None]]] = []
+        self._queue: List[_HeapEntry] = []
+        self._fast: Deque[_FastEntry] = deque()
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        # Lazily-cancelled entries still physically queued, tracked per
+        # store so the heap-compaction trigger never rescans the fast
+        # lane (which drains by itself within the current instant).
+        self._cancelled_heap = 0
+        self._cancelled_fast = 0
         self.rng = random.Random(seed)
         self._seed = seed
 
@@ -77,8 +139,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still queued.
+
+        Cancelled timers awaiting lazy removal are excluded (they will
+        never run), so run-budget heuristics see the true backlog; see
+        :attr:`cancelled_pending` for the dead-entry count.
+        """
+        return (
+            len(self._queue)
+            + len(self._fast)
+            - self._cancelled_heap
+            - self._cancelled_fast
+        )
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still physically queued (lazy removal)."""
+        return self._cancelled_heap + self._cancelled_fast
 
     def child_rng(self, name: str) -> random.Random:
         """Derive an independent, deterministic generator for a component.
@@ -89,36 +166,103 @@ class Simulator:
         """
         return random.Random(f"{self._seed}/{name}")
 
+    # ------------------------------------------------------------------
+    # Scheduling: cancellable timers
+    # ------------------------------------------------------------------
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` after ``delay`` simulated time units."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback)
-
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
-        """Run ``callback`` at absolute simulated time ``when``."""
-        if when < self._now:
-            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        handle = TimerHandle(when)
+        now = self._now
+        when = now + delay
+        if when <= now:  # delay == 0 (or rounds to nothing): same instant
+            handle = TimerHandle(when, self, callback)
+            self._fast.append(handle)
+            return handle
+        handle = TimerHandle(when, self)
         heapq.heappush(self._queue, (when, next(self._counter), handle, callback))
         return handle
 
-    def call_soon(self, callback: Callable[[], None]) -> TimerHandle:
-        """Run ``callback`` at the current instant, after pending same-time events."""
-        return self.schedule_at(self._now, callback)
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        now = self._now
+        if when <= now:
+            if when < now:
+                raise ValueError(f"cannot schedule in the past: {when} < {now}")
+            handle = TimerHandle(when, self, callback)
+            self._fast.append(handle)
+            return handle
+        handle = TimerHandle(when, self)
+        heapq.heappush(self._queue, (when, next(self._counter), handle, callback))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Scheduling: handle-free posts (uncancellable; no allocation)
+    # ------------------------------------------------------------------
+
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        """Handle-free :meth:`schedule`: the event cannot be cancelled."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.post_at(self._now + delay, callback)
+
+    def post_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Handle-free :meth:`schedule_at`: the event cannot be cancelled."""
+        now = self._now
+        if when <= now:
+            if when < now:
+                raise ValueError(f"cannot schedule in the past: {when} < {now}")
+            self._fast.append(callback)
+            return
+        heapq.heappush(self._queue, (when, next(self._counter), None, callback))
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the current instant, after pending same-time events.
+
+        Handle-free: same-instant events cannot be cancelled.  This is the
+        cheapest way to defer work within the current instant (one deque
+        append; the heap is never touched).
+        """
+        self._fast.append(callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            when, _seq, handle, callback = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
+        queue = self._queue
+        fast = self._fast
+        while True:
+            if fast:
+                # Heap events stamped exactly `now` were scheduled before
+                # the clock reached `now`, so they precede the fast lane.
+                if not queue or queue[0][0] != self._now:
+                    entry = fast.popleft()
+                    if entry.__class__ is TimerHandle:
+                        if entry.cancelled:
+                            self._cancelled_fast -= 1
+                            continue
+                        entry.fired = True
+                        self._events_processed += 1
+                        entry._callback()  # type: ignore[misc]
+                        return True
+                    self._events_processed += 1
+                    entry()  # type: ignore[operator]
+                    return True
+            elif not queue:
+                return False
+            when, _seq, handle, callback = heapq.heappop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled_heap -= 1
+                    continue
+                handle.fired = True
             self._now = when
-            handle.fired = True
             self._events_processed += 1
             callback()
             return True
-        return False
 
     def run(
         self,
@@ -136,18 +280,50 @@ class Simulator:
             Stop after this many additional events (guards against
             non-terminating protocols in tests).
         """
-        budget = max_events if max_events is not None else float("inf")
-        executed = 0
-        while self._queue and executed < budget:
-            when = self._next_active_deadline()
-            if when is None:
-                break
-            if until is not None and when > until:
-                self._now = until
-                return
-            if not self.step():
-                break
-            executed += 1
+        queue = self._queue
+        fast = self._fast
+        fast_pop = fast.popleft
+        heappop = heapq.heappop
+        timer_cls = TimerHandle
+        budget = max_events if max_events is not None else (1 << 62)
+        processed = 0
+        try:
+            while processed < budget:
+                if fast:
+                    # Due-now heap events precede the fast lane (they
+                    # carry older scheduling counters); otherwise drain
+                    # the lane in append order.
+                    if not queue or queue[0][0] != self._now:
+                        entry = fast_pop()
+                        if entry.__class__ is timer_cls:
+                            if entry.cancelled:
+                                self._cancelled_fast -= 1
+                                continue
+                            entry.fired = True
+                            processed += 1
+                            entry._callback()  # type: ignore[misc]
+                            continue
+                        processed += 1
+                        entry()  # type: ignore[operator]
+                        continue
+                elif not queue:
+                    break
+                when = queue[0][0]
+                if until is not None and when > until:
+                    if until > self._now:
+                        self._now = until
+                    return
+                when, _seq, handle, callback = heappop(queue)
+                if handle is not None:
+                    if handle.cancelled:
+                        self._cancelled_heap -= 1
+                        continue
+                    handle.fired = True
+                self._now = when
+                processed += 1
+                callback()
+        finally:
+            self._events_processed += processed
         if until is not None and self._now < until:
             self._now = until
 
@@ -160,11 +336,41 @@ class Simulator:
             executed += 1
         return True
 
-    def _next_active_deadline(self) -> Optional[float]:
-        while self._queue:
-            when, _seq, handle, _callback = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            return when
-        return None
+    # ------------------------------------------------------------------
+    # Lazy-cancellation bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self, in_fast_lane: bool) -> None:
+        """Called by :meth:`TimerHandle.cancel`; compacts when mostly dead.
+
+        Fast-lane cancellations only bump their counter: the lane drains
+        within the current instant, so there is nothing to compact and
+        they must not trip (or be rescanned by) the heap trigger.
+        """
+        if in_fast_lane:
+            self._cancelled_fast += 1
+            return
+        self._cancelled_heap += 1
+        if (
+            self._cancelled_heap > _COMPACT_MIN
+            and self._cancelled_heap * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify.
+
+        Runs in O(live entries); triggered when more than half the heap
+        is dead so the amortized cost per cancellation is O(1).  Mutates
+        ``self._queue`` in place: ``run()``/``step()`` hold a local
+        alias to the list across callbacks, so rebinding the attribute
+        would silently strand events scheduled after a mid-run
+        compaction.
+        """
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled_heap = 0

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -37,15 +36,29 @@ from repro.sim.trace import TraceLog
 SendInterceptor = Callable[[str, str, Any], bool]
 
 
-@dataclass
 class Envelope:
-    """A message in flight."""
+    """A message in flight.
 
-    seq: int
-    src: str
-    dst: str
-    payload: Any
-    send_time: float
+    A plain ``__slots__`` class (not a dataclass): one envelope is
+    allocated per message, so construction cost is hot-path cost.
+    """
+
+    __slots__ = ("seq", "src", "dst", "payload", "send_time")
+
+    def __init__(
+        self, seq: int, src: str, dst: str, payload: Any, send_time: float
+    ) -> None:
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.send_time = send_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(seq={self.seq}, src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, send_time={self.send_time})"
+        )
 
 
 class _SimEnv(ProcessEnv):
@@ -55,6 +68,9 @@ class _SimEnv(ProcessEnv):
         self._network = network
         self._pid = pid
         self._rng = network.sim.child_rng(f"proc/{pid}")
+        # Hot-path prebinds: every protocol action traces and most send.
+        self._sim = network.sim
+        self._trace_record = network.trace.record
 
     @property
     def pid(self) -> str:
@@ -78,8 +94,11 @@ class _SimEnv(ProcessEnv):
     def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         return self._network.set_process_timer(self._pid, delay, callback)
 
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        self._network.post_process_event(self._pid, delay, callback)
+
     def trace(self, kind: str, **fields: Any) -> None:
-        self._network.trace.record(self._network.sim.now, self._pid, kind, **fields)
+        self._trace_record(self._sim._now, self._pid, kind, **fields)
 
 
 class SimNetwork:
@@ -96,6 +115,10 @@ class SimNetwork:
         When True, every send/delivery/drop is recorded in the trace log
         (useful for figure-exact reproductions; off by default to keep
         large soak runs cheap).
+    trace_level:
+        ``"full"`` (default) keeps the usual protocol trace; ``"off"``
+        installs a disabled log so soak and throughput runs pay nothing
+        per event (the checkers need ``"full"``).
     """
 
     def __init__(
@@ -103,11 +126,16 @@ class SimNetwork:
         sim: Simulator,
         latency: Optional[LatencyModel] = None,
         trace_messages: bool = False,
+        trace_level: str = "full",
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else ConstantLatency(1.0)
-        self.trace = TraceLog()
-        self.trace_messages = trace_messages
+        # Constant models skip the per-message sample() call (the common
+        # configuration; delay is re-read per message so mutating
+        # latency.delay still works).
+        self._latency_is_const = type(self.latency) is ConstantLatency
+        self.trace = TraceLog(level=trace_level)
+        self.trace_messages = trace_messages and self.trace.enabled
         self._processes: Dict[str, Process] = {}
         self._crashed: set = set()
         self._seq = itertools.count()
@@ -249,43 +277,45 @@ class SimNetwork:
             return  # a crashed process cannot send
         if dst not in self._processes:
             raise KeyError(f"unknown destination: {dst}")
-        for interceptor in list(self._interceptors):
-            if not interceptor(src, dst, payload):
-                if self.trace_messages:
-                    self.trace.record(
-                        self.sim.now, src, "msg_dropped", dst=dst, payload=payload,
-                    )
-                return
+        if self._interceptors:
+            for interceptor in list(self._interceptors):
+                if not interceptor(src, dst, payload):
+                    if self.trace_messages:
+                        self.trace.record(
+                            self.sim.now, src, "msg_dropped", dst=dst, payload=payload,
+                        )
+                    return
         self._messages_sent += 1
-        envelope = Envelope(
-            seq=next(self._seq),
-            src=src,
-            dst=dst,
-            payload=payload,
-            send_time=self.sim.now,
-        )
+        envelope = Envelope(next(self._seq), src, dst, payload, self.sim.now)
         if self.trace_messages:
             self.trace.record(self.sim.now, src, "msg_send", dst=dst, payload=payload)
-        if self._crosses_partition(src, dst):
+        if self._group_of is not None and self._crosses_partition(src, dst):
             self._held.append(envelope)
             return
         self._schedule_delivery(envelope)
 
     def _schedule_delivery(self, envelope: Envelope) -> None:
-        delay = self.latency.sample(self._rng, envelope.src, envelope.dst)
+        if self._latency_is_const:
+            delay = self.latency.delay
+        else:
+            delay = self.latency.sample(self._rng, envelope.src, envelope.dst)
         channel = (envelope.src, envelope.dst)
+        last_arrival = self._last_arrival
         arrival = self.sim.now + delay
         # FIFO: never deliver before the previously scheduled arrival on
         # this channel.
-        previous = self._last_arrival.get(channel, 0.0)
-        arrival = max(arrival, previous)
-        self._last_arrival[channel] = arrival
-        self.sim.schedule_at(arrival, lambda: self._deliver(envelope))
+        previous = last_arrival.get(channel, 0.0)
+        if previous > arrival:
+            arrival = previous
+        last_arrival[channel] = arrival
+        # Deliveries never cancel: handle-free scheduling skips the
+        # TimerHandle allocation on every message.
+        self.sim.post_at(arrival, lambda: self._deliver(envelope))
 
     def _deliver(self, envelope: Envelope) -> None:
         if envelope.dst in self._crashed:
             return
-        if self._crosses_partition(envelope.src, envelope.dst):
+        if self._group_of is not None and self._crosses_partition(envelope.src, envelope.dst):
             # A partition formed while the message was in flight: hold it.
             self._held.append(envelope)
             return
@@ -314,3 +344,18 @@ class SimNetwork:
                 callback()
 
         return self.sim.schedule(delay, guarded)
+
+    def post_process_event(
+        self, pid: str, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Handle-free :meth:`set_process_timer` for uncancellable events.
+
+        Same crash suppression, but no :class:`TimerHandle` is allocated
+        and zero-delay posts ride the simulator's same-instant fast lane.
+        """
+
+        def guarded() -> None:
+            if pid not in self._crashed:
+                callback()
+
+        self.sim.post(delay, guarded)

@@ -62,6 +62,15 @@ class ProcessEnv:
         """Schedule ``callback`` after ``delay``; cancellable via the handle."""
         raise NotImplementedError
 
+    def post(self, delay: float, callback: Callable[[], None]) -> None:
+        """Handle-free :meth:`set_timer` for events that never cancel.
+
+        Substrates override this to skip per-event handle allocation
+        (the simulator routes zero-delay posts onto its same-instant
+        fast lane); the default just discards the handle.
+        """
+        self.set_timer(delay, callback)
+
     def trace(self, kind: str, **fields: Any) -> None:
         """Record a structured trace event (see :mod:`repro.analysis.trace`)."""
         raise NotImplementedError

@@ -6,12 +6,29 @@ reply adoption, consensus decision, ...) is recorded as a
 operate purely on these traces, which keeps them independent of protocol
 internals and lets them validate both the simulator and the asyncio
 runtime.
+
+Two performance features keep tracing off the hot path:
+
+* **Kind index** -- :class:`TraceLog` maintains a per-kind position index
+  so ``events(kind=...)`` is O(matches) instead of O(log length).  The
+  checkers issue dozens of kind-filtered queries per run; on large traces
+  the index turns quadratic checker passes into linear ones.
+* **Level gate** -- ``TraceLog(level="off")`` (or the :class:`NullTrace`
+  singleton-style subclass) drops every record at the door.  Soak runs
+  and throughput benchmarks run with tracing off; checker-backed tests
+  keep the default full-fidelity log.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from heapq import merge as _heapq_merge
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+#: Recognized trace levels: "full" records everything, "off" records
+#: nothing (zero-waste mode for soak/throughput runs).
+TRACE_LEVELS = ("full", "off")
 
 
 @dataclass(frozen=True)
@@ -35,16 +52,66 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An append-only log of :class:`TraceEvent` with filtering helpers."""
+    """An append-only log of :class:`TraceEvent` with filtering helpers.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    level:
+        ``"full"`` (default) records everything; ``"off"`` silently drops
+        every record/append -- the log stays empty and costs nothing on
+        the protocol hot path.
+    """
+
+    def __init__(self, level: str = "full") -> None:
+        if level not in TRACE_LEVELS:
+            raise ValueError(f"unknown trace level: {level} (choose from {TRACE_LEVELS})")
         self._events: List[TraceEvent] = []
+        self._by_kind: Dict[str, List[int]] = {}
+        self._level = level
+        if level == "off":
+            # Shadow the hot-path methods with no-ops so a disabled log
+            # costs one dropped call, not a branch per record.
+            self.append = self._drop_append  # type: ignore[method-assign]
+            self.record = self._drop_record  # type: ignore[method-assign]
+
+    @property
+    def level(self) -> str:
+        return self._level
+
+    @property
+    def enabled(self) -> bool:
+        """True when this log records events."""
+        return self._level != "off"
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
 
     def append(self, event: TraceEvent) -> None:
-        self._events.append(event)
+        events = self._events
+        index = self._by_kind.get(event.kind)
+        if index is None:
+            index = self._by_kind[event.kind] = []
+        index.append(len(events))
+        events.append(event)
 
     def record(self, time: float, pid: str, kind: str, **fields: Any) -> None:
-        self._events.append(TraceEvent(time, pid, kind, fields))
+        events = self._events
+        index = self._by_kind.get(kind)
+        if index is None:
+            index = self._by_kind[kind] = []
+        index.append(len(events))
+        events.append(TraceEvent(time, pid, kind, fields))
+
+    def _drop_append(self, event: TraceEvent) -> None:
+        """append() of a level="off" log."""
+
+    def _drop_record(self, time: float, pid: str, kind: str, **fields: Any) -> None:
+        """record() of a level="off" log."""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._events)
@@ -57,25 +124,87 @@ class TraceLog:
         kind: Optional[str] = None,
         pid: Optional[str] = None,
     ) -> List[TraceEvent]:
-        """All events, optionally filtered by kind and/or process."""
-        result = self._events
+        """All events, optionally filtered by kind and/or process.
+
+        Kind-filtered queries use the kind index: O(matching events),
+        independent of the total log length.
+        """
+        events = self._events
         if kind is not None:
-            result = [e for e in result if e.kind == kind]
+            positions = self._by_kind.get(kind, ())
+            if pid is None:
+                return [events[i] for i in positions]
+            return [events[i] for i in positions if events[i].pid == pid]
         if pid is not None:
-            result = [e for e in result if e.pid == pid]
-        return list(result)
+            return [e for e in events if e.pid == pid]
+        return list(events)
+
+    def events_of_kinds(
+        self,
+        kinds: Sequence[str],
+        pid: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events of any of ``kinds``, in log order, via the kind index.
+
+        O(matches · log len(kinds)): the per-kind position lists are
+        merged, never the full log scanned.  This is what lets the
+        checkers replay delivery histories on long traces cheaply.
+        """
+        by_kind = self._by_kind
+        position_lists = [by_kind[k] for k in kinds if k in by_kind]
+        if not position_lists:
+            return []
+        if len(position_lists) == 1:
+            positions: Any = position_lists[0]
+        else:
+            positions = _heapq_merge(*position_lists)
+        events = self._events
+        if pid is None:
+            return [events[i] for i in positions]
+        return [events[i] for i in positions if events[i].pid == pid]
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` (O(1) via the index)."""
+        return len(self._by_kind.get(kind, ()))
 
     def kinds(self) -> List[str]:
         """Distinct event kinds present, in first-seen order."""
-        seen: Dict[str, None] = {}
-        for event in self._events:
-            seen.setdefault(event.kind, None)
-        return list(seen)
+        return list(self._by_kind)
 
     def clear(self) -> None:
         self._events.clear()
+        self._by_kind.clear()
+
+    def digest(self) -> str:
+        """A canonical SHA-256 over (time, pid, kind, sorted fields).
+
+        Two runs are byte-identical exactly when their digests match;
+        the determinism tests pin fixed-seed scenarios to golden digests
+        across kernel changes.
+        """
+        h = hashlib.sha256()
+        for event in self._events:
+            line = "%r|%s|%s|%r\n" % (
+                event.time,
+                event.pid,
+                event.kind,
+                sorted(event.fields.items()),
+            )
+            h.update(line.encode())
+        return h.hexdigest()
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable rendering (for debugging and example scripts)."""
         events = self._events if limit is None else self._events[:limit]
         return "\n".join(repr(e) for e in events)
+
+
+class NullTrace(TraceLog):
+    """A :class:`TraceLog` that drops everything (``level="off"``).
+
+    Exists so call sites can say ``NullTrace()`` instead of the stringly
+    ``TraceLog(level="off")``; both behave identically.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(level="off")

@@ -9,7 +9,7 @@ from repro.analysis.stats import (
     summarize,
 )
 from repro.harness.tables import Table, write_result
-from repro.sim.trace import TraceEvent, TraceLog
+from repro.sim.trace import NullTrace, TraceEvent, TraceLog
 
 pytestmark = pytest.mark.unit
 
@@ -53,6 +53,67 @@ class TestTraceLog:
         log.record(1.0, "p", "a")
         log.record(2.0, "p", "b")
         assert [e.kind for e in log] == ["a", "b"]
+
+    def test_kind_index_matches_scan(self):
+        log = TraceLog()
+        for i in range(50):
+            log.record(float(i), f"p{i % 3}", "abc"[i % 3], i=i)
+        for kind in "abc":
+            assert log.events(kind=kind) == [e for e in log if e.kind == kind]
+        assert log.count("a") == sum(1 for e in log if e.kind == "a")
+        assert log.count("missing") == 0
+        assert log.events(kind="missing") == []
+
+    def test_events_of_kinds_preserves_log_order(self):
+        log = TraceLog()
+        for i in range(30):
+            log.record(float(i), f"p{i % 2}", "xyz"[i % 3], i=i)
+        merged = log.events_of_kinds(("x", "z"))
+        assert merged == [e for e in log if e.kind in ("x", "z")]
+        merged_pid = log.events_of_kinds(("x", "z"), pid="p0")
+        assert merged_pid == [e for e in log if e.kind in ("x", "z") and e.pid == "p0"]
+        assert log.events_of_kinds(("nope",)) == []
+
+    def test_appended_events_are_indexed(self):
+        log = TraceLog()
+        log.append(TraceEvent(1.0, "p", "a", {"v": 1}))
+        log.record(2.0, "p", "b", v=2)
+        log.append(TraceEvent(3.0, "p", "a", {"v": 3}))
+        assert [e["v"] for e in log.events(kind="a")] == [1, 3]
+
+    def test_clear_resets_kind_index(self):
+        log = TraceLog()
+        log.record(1.0, "p", "a")
+        log.clear()
+        log.record(2.0, "p", "b")
+        assert log.events(kind="a") == []
+        assert [e.kind for e in log.events(kind="b")] == ["b"]
+
+    def test_level_off_drops_everything(self):
+        for log in (TraceLog(level="off"), NullTrace()):
+            log.record(1.0, "p", "a", x=1)
+            log.append(TraceEvent(2.0, "p", "b", {}))
+            assert len(log) == 0
+            assert log.events() == []
+            assert log.events(kind="a") == []
+            assert not log.enabled
+        assert TraceLog().enabled
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(level="verbose")
+
+    def test_digest_is_order_and_content_sensitive(self):
+        a, b, c = TraceLog(), TraceLog(), TraceLog()
+        a.record(1.0, "p", "k", v=1)
+        a.record(2.0, "p", "k", v=2)
+        b.record(1.0, "p", "k", v=1)
+        b.record(2.0, "p", "k", v=2)
+        c.record(2.0, "p", "k", v=2)
+        c.record(1.0, "p", "k", v=1)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+        assert a.digest() != TraceLog().digest()
 
 
 class TestStats:
