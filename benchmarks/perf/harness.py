@@ -242,6 +242,12 @@ class Bench:
     run: Callable[[bool], float]  # quick -> measurement
 
 
+#: The quick-mode B10 shape (requests per client).  Big enough that the
+#: wall-clock is tens of milliseconds -- the CI gate compares this
+#: number across processes, so it must dominate fixed per-run overhead.
+B10_QUICK_REQUESTS = 80
+
+
 def _best(fn: Callable[[], float], repeats: int, higher_is_better: bool) -> float:
     results = []
     for _ in range(repeats):
@@ -291,7 +297,7 @@ BENCHES: List[Bench] = [
         "B10 scenario (4 shards, overload, trace off)",
         "s",
         False,
-        lambda quick: b10_scenario(40 if quick else 160),
+        lambda quick: b10_scenario(B10_QUICK_REQUESTS if quick else 160),
     ),
 ]
 
@@ -302,7 +308,13 @@ RATE_KEYS = tuple(b.key for b in BENCHES if b.higher_is_better)
 
 
 def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, Any]:
-    """Run every benchmark; returns the BENCH_perf.json payload."""
+    """Run every benchmark; returns the BENCH_perf.json payload.
+
+    A full run additionally measures the *quick-shape* B10 wall-clock
+    and records it as ``quick_reference`` so CI (which runs in quick
+    mode) has a same-shape committed baseline to gate the sharded
+    end-to-end path against -- see ``run_perf.check_against``.
+    """
     if repeats is None:
         repeats = 2 if quick else 3
     results: Dict[str, float] = {}
@@ -318,7 +330,7 @@ def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         current = results[bench.key]
         ratio = current / base if bench.higher_is_better else base / current
         speedups[bench.key] = round(ratio, 2)
-    return {
+    payload: Dict[str, Any] = {
         "schema": 1,
         "mode": "quick" if quick else "full",
         "repeats": repeats,
@@ -327,6 +339,13 @@ def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
         "speedup_vs_pre_pr": speedups,
         "golden_digest": golden_scenario_digest(),
     }
+    if not quick:
+        quick_b10 = _best(lambda: b10_scenario(B10_QUICK_REQUESTS), repeats, False)
+        payload["quick_reference"] = {
+            "b10_wallclock_sec": round(quick_b10, 4),
+            "kernel_events_per_sec": results["kernel_events_per_sec"],
+        }
+    return payload
 
 
 def format_table(payload: Dict[str, Any]) -> str:

@@ -14,6 +14,16 @@ optimization's >3x margin is the headroom that keeps the gate meaningful
 on CI machines slower than the reference box, while a real loss of the
 fast path (back to pre-PR speed) still trips it.  The gate also verifies
 the fixed-seed determinism digest.
+
+The B10 sharded wall-clock is gated too, so a regression in the
+sharding layer (router/client/2PC/migration plumbing) is caught even
+when the kernel itself is fine.  Wall-clocks are machine-dependent, so
+the gate compares *kernel-normalized work*: ``b10_wallclock x
+kernel_events_per_sec`` measured in the same run, against the same
+product from the committed file's same-shape reference (``results`` in
+full mode, ``quick_reference`` in quick mode) -- a slow CI box scales
+both factors' machine term away, while B10 getting slower *relative to
+the kernel* beyond ``B10_TOLERANCE`` fails.
 """
 
 from __future__ import annotations
@@ -38,21 +48,62 @@ from benchmarks.perf.harness import (  # noqa: E402
 #: baseline fails the CI gate.
 REGRESSION_TOLERANCE = 0.30
 
+#: Tolerance for the B10 sharded wall-clock gate.  Wall-clocks carry
+#: cross-process systematic skew the rate micros do not (CPython's
+#: adaptive specialization warms differently depending on what ran
+#: before), so the gate is looser: it exists to catch *structural*
+#: sharding-layer regressions (an accidental O(n^2) drain, a lost fast
+#: path), which overshoot this margin by far.
+B10_TOLERANCE = 0.60
+
+
+def _b10_reference(payload: dict, committed: dict) -> dict:
+    """The committed same-shape B10 reference for this run's mode."""
+    if payload["mode"] == "full":
+        return committed.get("results", {})
+    return committed.get("quick_reference", {})
+
 
 def check_against(payload: dict, committed_path: str) -> int:
-    """Gate: kernel dispatch within tolerance of the committed baseline."""
+    """Gate: kernel dispatch, B10 sharded wall-clock, determinism digest."""
     with open(committed_path) as handle:
         committed = json.load(handle)
     baseline = committed["baseline_pre_pr"]["kernel_events_per_sec"]
     measured = payload["results"]["kernel_events_per_sec"]
     floor = baseline * (1.0 - REGRESSION_TOLERANCE)
     failures = []
+    notes = []
     if measured < floor:
         failures.append(
             f"kernel dispatch regressed: {measured:,.0f} events/s is below "
             f"{floor:,.0f} (70% of the committed pre-PR baseline "
             f"{baseline:,.0f})"
         )
+
+    # B10 sharded wall-clock, normalized by the same run's kernel rate
+    # so a uniformly slower machine cancels out and only the sharding
+    # layer getting slower relative to the kernel trips the gate.
+    reference = _b10_reference(payload, committed)
+    if "b10_wallclock_sec" in reference and "kernel_events_per_sec" in reference:
+        measured_work = payload["results"]["b10_wallclock_sec"] * measured
+        reference_work = (
+            reference["b10_wallclock_sec"] * reference["kernel_events_per_sec"]
+        )
+        ceiling = reference_work * (1.0 + B10_TOLERANCE)
+        if measured_work > ceiling:
+            failures.append(
+                f"B10 sharded wall-clock regressed: "
+                f"{measured_work:,.0f} kernel-equivalent events exceed "
+                f"{ceiling:,.0f} ({100 * (1 + B10_TOLERANCE):.0f}% of the "
+                f"committed {reference_work:,.0f})"
+            )
+        else:
+            notes.append(
+                f"b10 {measured_work:,.0f} <= {ceiling:,.0f} kernel-equiv"
+            )
+    else:
+        notes.append("b10 gate skipped (no same-shape reference committed)")
+
     expected_digest = committed.get("golden_digest", GOLDEN_DIGEST)
     if payload["golden_digest"] != expected_digest:
         failures.append(
@@ -64,8 +115,8 @@ def check_against(payload: dict, committed_path: str) -> int:
             print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        f"perf gate ok: kernel {measured:,.0f} events/s "
-        f">= {floor:,.0f}; digest matches"
+        f"perf gate ok: kernel {measured:,.0f} events/s >= {floor:,.0f}; "
+        f"{'; '.join(notes)}; digest matches"
     )
     return 0
 

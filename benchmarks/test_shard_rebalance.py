@@ -1,0 +1,293 @@
+"""Experiment B11: live rebalancing recovers goodput under hot-key skew.
+
+The B10b table showed the ceiling: under Zipfian skew the hot keys'
+shard saturates its one ordering pipeline and aggregate goodput stops
+scaling with shard count.  B11 closes the loop.  A range-partitioned
+4-shard cluster puts the Zipf head keys contiguously on shard 0 (the
+worst case a static placement can produce); after a warm-up window a
+:class:`~repro.sharding.rebalance.RebalanceCoordinator` snapshots the
+clients' per-key load counters, plans moves off the hot shard, and
+migrates the head keys to the cold shards as escrow-style migration
+transactions -- while the open-loop workload keeps firing and stale
+clients ride WrongShard redirects onto the new placement.
+
+Measured: steady-state goodput *after the rebalance completes*, versus
+the same window of the identical run with the static router.  Also
+asserted: every migration scenario in this file -- including a
+coordinator crash mid-migration healed by a recovery coordinator --
+passes ``check_migration_atomicity`` plus the full per-shard bundle.
+"""
+
+import pytest
+
+from repro.analysis import checkers
+from repro.core.server import OARConfig
+from repro.harness import (
+    ShardedScenarioConfig,
+    Table,
+    run_sharded_scenario,
+    write_result,
+)
+from repro.sharding import attach_rebalancer
+
+pytestmark = pytest.mark.bench
+
+N_SHARDS = 4
+ORDER_COST = 0.5  #: sequencer service time => 2 req/unit per pipeline
+CLIENTS = 8
+REQUESTS = 120  #: per client; 960 total => ~300 time units of arrivals
+RATE = 0.4  #: per client; 3.2 req/unit offered, ~2.9 of which hit shard 0
+ZIPF_S = 1.5  #: range router packs the top-16 keys (~90% of load) on shard 0
+#: Rebalance early, before the hot sequencer's backlog grows deep: the
+#: migration steps are ordinary totally-ordered requests, so they queue
+#: behind that same backlog (rebalancing is cheapest exactly when it is
+#: acted on promptly -- the experiment shows the cost of waiting too).
+REBALANCE_AT = 20.0
+MAX_MOVES = 4
+END_OF_ARRIVALS = REQUESTS / RATE
+
+
+def base_config(seed: int = 0, arm=None) -> ShardedScenarioConfig:
+    return ShardedScenarioConfig(
+        n_shards=N_SHARDS,
+        n_servers=3,
+        n_clients=CLIENTS,
+        requests_per_client=REQUESTS,
+        machine="kv",
+        workload="zipf",
+        zipf_s=ZIPF_S,
+        router="range",  # head keys contiguous on shard 0: worst case
+        n_keys=64,
+        driver="open",
+        open_rate=RATE,
+        oar=OARConfig(order_cost=ORDER_COST),
+        redirect_delay=2.0,
+        grace=200.0,
+        horizon=50_000.0,
+        seed=seed,
+        arm=arm,
+    )
+
+
+def goodput_in(run, since: float, until: float) -> float:
+    """Adoptions per time unit inside [since, until]."""
+    adopts = [
+        e.time for e in run.trace.events(kind="adopt") if since <= e.time <= until
+    ]
+    span = until - since
+    return len(adopts) / span if span > 0 else 0.0
+
+
+def makespan(run) -> float:
+    """Time of the last adoption (the fixed workload's completion)."""
+    return max(e.time for e in run.trace.events(kind="adopt"))
+
+
+def hot_share_after(run, since: float) -> float:
+    """Fraction of post-``since`` submissions that routed to shard 0."""
+    clients_by_pid = {client.pid: client for client in run.clients}
+    total = 0
+    hot = 0
+    for event in run.trace.events(kind="submit"):
+        client = clients_by_pid.get(event.pid)
+        if client is None or event.time < since:
+            continue
+        shard = client.routed.get(event["rid"])
+        if shard is None:
+            continue  # a cross-shard txid, not a physical routed rid
+        total += 1
+        hot += shard == 0
+    return hot / total if total else 0.0
+
+
+def check_big_run(run):
+    """The linear-cost slice of the checker bundle, for the goodput runs.
+
+    The pairwise majority-guarantee sweep is quadratic in requests per
+    shard; at B11's scale (~860 requests on the hot shard) it would cost
+    tens of seconds while adding no coverage -- the full bundle
+    (including it) runs on every smaller scenario in this file and the
+    test tiers.  Everything the rebalancing could actually break is
+    checked here: per-shard at-most-once and order/state agreement,
+    external consistency of adoptions, and migration atomicity +
+    conservation + single-owner across shards.
+    """
+    assert run.all_done()
+    client_pids = [client.pid for client in run.clients] + [
+        coordinator.client.pid for coordinator in run.rebalancers
+    ]
+    for shard, servers in enumerate(run.shards):
+        view = checkers.subtrace(
+            run.trace, [server.pid for server in servers] + client_pids
+        )
+        checkers.check_at_most_once(view, servers)
+        checkers.check_total_order(servers)
+        checkers.check_replica_convergence(servers)
+        checkers.check_external_consistency(view)
+        checkers.check_at_least_once(
+            view,
+            [server for server in servers if not server.crashed],
+            run.routed_to(shard),
+        )
+    checkers.check_cross_shard_atomicity(run.trace, run.shards, quiescent=True)
+    checkers.check_migration_atomicity(
+        run.trace,
+        run.shards,
+        run.routing_table,
+        run.key_universe,
+        quiescent=True,
+    )
+
+
+def run_static(seed: int = 0):
+    return run_sharded_scenario(base_config(seed))
+
+
+def run_rebalanced(seed: int = 0):
+    state = {}
+
+    def arm(run):
+        state["coordinator"] = attach_rebalancer(
+            run, start_at=REBALANCE_AT, max_moves=MAX_MOVES
+        )
+
+    run = run_sharded_scenario(base_config(seed, arm=arm))
+    return run, state["coordinator"]
+
+
+def test_b11_rebalance_recovers_goodput(benchmark):
+    static = run_static()
+    check_big_run(static)
+
+    rebalanced, coordinator = run_rebalanced()
+    assert coordinator.done
+    assert coordinator.moves_committed > 0
+    check_big_run(rebalanced)  # incl. check_migration_atomicity
+
+    # When did the last migration land?  Measure both runs' goodput over
+    # the identical window from that instant to the end of arrivals.
+    done_events = rebalanced.trace.events(kind="mig_done")
+    rebalance_done = max(e.time for e in done_events)
+    assert rebalance_done < END_OF_ARRIVALS * 0.7  # a real steady-state window
+    static_tail = goodput_in(static, rebalance_done, END_OF_ARRIVALS)
+    rebalanced_tail = goodput_in(rebalanced, rebalance_done, END_OF_ARRIVALS)
+
+    # Load actually left the hot shard: shard 0's share of the traffic
+    # submitted after the rebalance drops well below the static run's.
+    static_hot = hot_share_after(static, rebalance_done)
+    rebalanced_hot = hot_share_after(rebalanced, rebalance_done)
+    assert rebalanced_hot < static_hot * 0.7
+
+    # And the fixed workload as a whole completes sooner.
+    static_makespan = makespan(static)
+    rebalanced_makespan = makespan(rebalanced)
+    assert rebalanced_makespan < static_makespan
+
+    table = Table(
+        f"B11 -- Zipf(s={ZIPF_S}) head keys packed on shard 0 "
+        f"(range router, order_cost {ORDER_COST}, offered "
+        f"{CLIENTS * RATE:.1f} req/unit): steady state after rebalance "
+        f"(t in [{rebalance_done:.0f}, {END_OF_ARRIVALS:.0f}])",
+        [
+            "router",
+            "goodput (req/unit)",
+            "hot-shard share",
+            "makespan",
+            "moves",
+            "redirects",
+        ],
+    )
+    table.add_row("static", static_tail, static_hot, static_makespan, 0, 0)
+    table.add_row(
+        "rebalanced",
+        rebalanced_tail,
+        rebalanced_hot,
+        rebalanced_makespan,
+        coordinator.moves_committed,
+        sum(client.redirects for client in rebalanced.clients),
+    )
+
+    # B11b: the same machinery under a coordinator crash -- the recovery
+    # coordinator heals the stranded migration and atomicity holds.
+    crash_run = run_coordinator_crash_scenario()
+
+    lines = [
+        table.render(),
+        "",
+        "B11b -- coordinator crash mid-migration: the key is stranded in "
+        "the source's outbound escrow (owned by nobody, clients redirect "
+        "and wait); a recovery coordinator adopting the journal completes "
+        f"the move.  check_migration_atomicity passes; routing epoch "
+        f"{crash_run.routing_table.epoch} after recovery.",
+        "",
+        "shape: with the Zipf head packed onto one shard, the static",
+        "router caps aggregate goodput at roughly the hot pipeline's",
+        "service rate; migrating the head keys across the cold shards'",
+        "pipelines lifts post-rebalance goodput above the static run in",
+        "the same time window, and every migration (crashed or not) is",
+        "atomic: one owner per key, no state lost, conservation holds.",
+    ]
+    write_result("B11_shard_rebalance", "\n".join(lines))
+
+    benchmark.pedantic(run_static, rounds=1, iterations=1)
+
+    # The headline claim: goodput after rebalance beats the static
+    # baseline over the identical window, with real margin.
+    assert rebalanced_tail > static_tail * 1.15
+
+
+def run_coordinator_crash_scenario():
+    """Crash the coordinator mid-move, recover, verify atomicity."""
+    state = {}
+
+    def arm(run):
+        coordinator = attach_rebalancer(run)
+        state["coordinator"] = coordinator
+        key = run.key_universe[0]
+        src = run.routing_table.shard_of(key)
+        dst = (src + 1) % run.config.n_shards
+        run.sim.schedule_at(30.0, lambda: coordinator.migrate(key, dst))
+        run.sim.schedule_at(
+            32.5, lambda: run.network.crash(coordinator.client.pid)
+        )
+
+        def probe_stranded():
+            # Safety holds even while the key is ownerless (the checker
+            # in non-quiescent mode accepts the in-flight state).
+            checkers.check_migration_atomicity(
+                run.trace,
+                run.shards,
+                run.routing_table,
+                run.key_universe,
+                quiescent=False,
+            )
+
+        run.sim.schedule_at(60.0, probe_stranded)
+
+        def recover():
+            recovery = attach_rebalancer(run, pid="rb2")
+            recovery.resume(coordinator.journal)
+            state["recovery"] = recovery
+
+        run.sim.schedule_at(90.0, recover)
+
+    run = run_sharded_scenario(
+        ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=25,
+            machine="kv",
+            workload="zipf",
+            zipf_s=1.5,
+            seed=17,
+            arm=arm,
+            horizon=50_000.0,
+            grace=100.0,
+        )
+    )
+    assert run.all_done()
+    assert state["recovery"].done
+    assert state["recovery"].journal[-1].phase == "done"
+    run.check_all(strict=False)  # incl. migration atomicity, post-recovery
+    return run

@@ -532,6 +532,180 @@ def check_cross_shard_atomicity(
     return len(begun)
 
 
+def check_migration_atomicity(
+    trace: TraceLog,
+    shard_servers: Sequence[Sequence[Any]],
+    routing_table: Any,
+    key_universe: Sequence[Any],
+    expected_total: Optional[int] = None,
+    quiescent: bool = True,
+) -> int:
+    """Live key migrations (``repro.sharding.rebalance``) are atomic.
+
+    Safety (always checked):
+
+    * **single owner** -- no key is owned by two shards' correct
+      replicas, and the replicas of one shard agree on their ownership
+      books;
+    * **no key lost** -- a key owned by no shard must be parked in
+      exactly one source shard's outbound migration escrow (the
+      in-flight window, or a coordinator crash awaiting recovery);
+    * **lifecycle order** -- a migration is installed only after it
+      prepared, and committed (epoch bump) only after it installed;
+    * **single install** -- each migration id is installed on at most
+      one shard (no double execution of a move);
+    * **conservation** (bank, when ``expected_total`` given) -- account
+      balances + transfer escrow + migration escrow sum to the money
+      supply, compensating for the brief install-to-forget window where
+      an exported balance is counted on both shards.
+
+    Additionally at quiescence: every begun migration reached ``done``
+    or ``aborted``, no key is still in flight, no outbound escrow entry
+    survives its forget, and the authoritative routing table points
+    every key at the shard that actually owns it.  Pass
+    ``quiescent=False`` for runs cut off mid-migration (or frozen by a
+    coordinator crash before recovery): an in-flight migration is
+    incomplete, not non-atomic.  Returns the number of distinct
+    migrations begun.
+    """
+    begun = {event["mid"]: event for event in trace.events(kind="mig_begin")}
+    prepared = {event["mid"] for event in trace.events(kind="mig_prepared")}
+    installed = {event["mid"] for event in trace.events(kind="mig_installed")}
+    committed = {event["mid"] for event in trace.events(kind="mig_commit")}
+    finished = {event["mid"] for event in trace.events(kind="mig_done")}
+    aborted = {event["mid"] for event in trace.events(kind="mig_abort")}
+
+    for mid in installed - prepared:
+        raise CheckFailure(
+            f"migration atomicity: {mid} installed without a prepare"
+        )
+    for mid in committed - installed:
+        raise CheckFailure(
+            f"migration atomicity: {mid} bumped the routing epoch before "
+            f"its install was adopted"
+        )
+    if quiescent:
+        unfinished = set(begun) - finished - aborted
+        if unfinished:
+            raise CheckFailure(
+                f"migration atomicity: migrations never completed: "
+                f"{sorted(unfinished)}"
+            )
+
+    # -- replicated ownership books ------------------------------------
+    owner_books: Dict[int, Any] = {}  # shard -> agreed owned-key set
+    outbound_by_shard: Dict[int, Dict[str, Any]] = {}
+    installed_by_shard: Dict[int, Dict[str, Any]] = {}
+    unknown_shards: Set[int] = set()  # fully crashed: ownership unknowable
+    for shard, servers in enumerate(shard_servers):
+        correct = [server for server in servers if not server.crashed]
+        if not correct:
+            unknown_shards.add(shard)
+            continue  # a fully-crashed shard has no authoritative state
+        machines = [server.machine for server in correct]
+        if not hasattr(machines[0], "owned_keys"):
+            return len(begun)  # keyless machines: no ownership model
+        books = {server.pid: server.machine.owned_keys() for server in correct}
+        distinct = set(books.values())
+        if len(distinct) > 1:
+            raise CheckFailure(
+                f"migration atomicity: shard {shard} replicas disagree on "
+                f"ownership: {books!r}"
+            )
+        agreed = distinct.pop()
+        if agreed is None:
+            return len(begun)  # unsharded machines own everything
+        owner_books[shard] = agreed
+        outbound_by_shard[shard] = machines[0].outbound_migrations()
+        installed_by_shard[shard] = machines[0].installed_migrations()
+
+    # Single install: each migration id landed on at most one shard.
+    seen_installs: Dict[str, int] = {}
+    for shard, installs in installed_by_shard.items():
+        for mid in installs:
+            if mid in seen_installs:
+                raise CheckFailure(
+                    f"migration atomicity: {mid} installed on shards "
+                    f"{seen_installs[mid]} and {shard}"
+                )
+            seen_installs[mid] = shard
+
+    in_flight_keys = {
+        key
+        for outbound in outbound_by_shard.values()
+        for key, _dst, _state in outbound.values()
+    }
+
+    for key in key_universe:
+        owners = [shard for shard, owned in owner_books.items() if key in owned]
+        if len(owners) > 1:
+            raise CheckFailure(
+                f"migration atomicity: {key!r} owned by multiple shards "
+                f"{owners}"
+            )
+        if not owners:
+            if key not in in_flight_keys:
+                if unknown_shards:
+                    continue  # the key may live on a fully-crashed shard
+                raise CheckFailure(
+                    f"migration atomicity: {key!r} owned by no shard and "
+                    f"absent from every outbound escrow -- state lost"
+                )
+            if quiescent:
+                raise CheckFailure(
+                    f"migration atomicity: {key!r} still in flight at "
+                    f"quiescence (stranded migration?)"
+                )
+            continue
+        if quiescent and routing_table.shard_of(key) != owners[0]:
+            raise CheckFailure(
+                f"migration atomicity: routing table sends {key!r} to shard "
+                f"{routing_table.shard_of(key)} but shard {owners[0]} owns it"
+            )
+
+    if quiescent:
+        leftovers = {
+            shard: sorted(outbound)
+            for shard, outbound in outbound_by_shard.items()
+            if outbound
+        }
+        if leftovers:
+            raise CheckFailure(
+                f"migration atomicity: outbound escrow entries survive "
+                f"quiescence: {leftovers}"
+            )
+
+    # -- conservation (bank) -------------------------------------------
+    # A fully-crashed shard makes its balances unobservable, not lost;
+    # the sum below would come up short through no fault of the
+    # migrations, so (matching the ownership logic above) skip it.
+    if expected_total is not None and owner_books and not unknown_shards:
+        observed = 0
+        have_bank = False
+        for shard, servers in enumerate(shard_servers):
+            correct = [server for server in servers if not server.crashed]
+            if not correct or not hasattr(correct[0].machine, "conserved_total"):
+                continue
+            have_bank = True
+            observed += correct[0].machine.conserved_total()
+        # conserved_total counts an exported balance at the source until
+        # mig_forget; once the same mid is installed at the destination
+        # the balance also sits in an account there.  Subtract that
+        # double-counted window.
+        for shard, outbound in outbound_by_shard.items():
+            for mid, (key, dst, state) in outbound.items():
+                if not isinstance(state, int):
+                    continue
+                if mid in installed_by_shard.get(dst, ()):
+                    observed -= state
+        if have_bank and observed != expected_total:
+            raise CheckFailure(
+                f"migration conservation violated: balances + escrows sum "
+                f"to {observed}, expected {expected_total}"
+            )
+    return len(begun)
+
+
 # ----------------------------------------------------------------------
 # Baseline anomaly scoring (Figure 1(b))
 # ----------------------------------------------------------------------

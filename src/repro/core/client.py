@@ -21,6 +21,19 @@ independent OAR groups, adoption runs per-group (each group has its own
 majority threshold), and multi-key operations that straddle groups run a
 client-coordinated two-phase commit whose branches are ordinary
 totally-ordered requests on their shards.
+
+With live rebalancing (``repro.sharding.rebalance``) a client's routing
+table can go stale: a key it routes to shard s may have been migrated
+away.  The shard then answers with a deterministic, totally-ordered
+:class:`~repro.statemachine.base.WrongShard` error, and the client
+**re-syncs its routing-table copy from the cluster's authoritative
+epoched table and retries** the operation under a fresh request id (the
+redirect loop also covers the in-flight window where a key is owned by
+*no* shard -- retries are spaced by ``redirect_delay`` until the
+migration lands).  The retried request is a brand-new totally-ordered
+request, so per-shard at-most-once and total-order guarantees are
+untouched; the original (error) adoption is simply never surfaced to the
+workload driver.
 """
 
 from __future__ import annotations
@@ -41,7 +54,7 @@ from typing import (
 from repro.broadcast.reliable import ReliableMulticast
 from repro.core.messages import Reply, Request
 from repro.sim.component import ComponentProcess
-from repro.statemachine.base import OpResult
+from repro.statemachine.base import OpResult, WrongShard
 
 
 @dataclass(frozen=True)
@@ -346,6 +359,19 @@ class ShardedOARClient(OARClient):
     tx_planner:
         ``(op, txid) -> {key: branch_op}`` hook (usually
         ``Machine.tx_branches``) for cross-shard decomposition.
+    route_authority:
+        The cluster's authoritative epoched
+        :class:`~repro.sharding.router.RoutingTable`.  When given (and
+        ``router`` is this client's own copy of it), WrongShard replies
+        trigger a sync-and-retry instead of surfacing an error; when
+        None the client never redirects (static-routing behaviour).
+    redirect_delay:
+        Pause before a redirected operation is retried -- covers the
+        in-flight migration window where the key is owned by no shard.
+    max_redirects:
+        Retry budget per logical operation; when exhausted the final
+        WrongShard error is surfaced to the caller (keeps runs with a
+        permanently stranded key terminating).
     """
 
     def __init__(
@@ -359,6 +385,9 @@ class ShardedOARClient(OARClient):
         ] = None,
         on_adopt: Optional[Callable[[AdoptedReply], None]] = None,
         retry_interval: Optional[float] = None,
+        route_authority: Optional[Any] = None,
+        redirect_delay: float = 5.0,
+        max_redirects: int = 100,
     ) -> None:
         groups = tuple(tuple(group) for group in shard_groups)
         if router.n_shards != len(groups):
@@ -370,6 +399,9 @@ class ShardedOARClient(OARClient):
         super().__init__(pid, all_servers, on_adopt, retry_interval)
         self.shard_groups = groups
         self.router = router
+        self.route_authority = route_authority
+        self.redirect_delay = redirect_delay
+        self.max_redirects = max_redirects
         self.key_extractor = key_extractor
         self.tx_planner = tx_planner
         self._tx_counter = itertools.count()
@@ -381,9 +413,19 @@ class ShardedOARClient(OARClient):
         #: Inverse index of :attr:`routed`, maintained at submit time so
         #: per-shard checkers do not rescan every routed request per shard.
         self._routed_by_shard: Dict[int, List[str]] = {}
+        #: Per-key submission counts: the load statistic the rebalance
+        #: coordinator plans from (cheap, works with tracing off).
+        self.key_load: Dict[Any, int] = {}
+        #: rid -> op for routed single-shard submissions, kept while the
+        #: request is in flight so a WrongShard reply can be retried.
+        self._op_of: Dict[str, Tuple[Any, ...]] = {}
+        #: rid/txid -> redirects already spent on that logical operation.
+        self._redirect_attempts: Dict[str, int] = {}
+        self._redirect_pending = 0
         self.cross_shard_started = 0
         self.cross_shard_committed = 0
         self.cross_shard_aborted = 0
+        self.redirects = 0
 
     @property
     def outstanding(self) -> int:
@@ -391,19 +433,22 @@ class ShardedOARClient(OARClient):
 
         A transaction always has a branch in flight between begin and
         finish (decisions are submitted in the last prepare's adoption
-        event), so the second term is defensive.
+        event), so the second term is defensive.  Operations waiting out
+        a redirect delay count too -- the driver must not conclude the
+        run while a retry is pending.
         """
         if not self._txs:  # quiescence predicates poll this per event
-            return len(self._pending)
+            return len(self._pending) + self._redirect_pending
         stalled = sum(1 for tx in self._txs.values() if tx.inflight == 0)
-        return len(self._pending) + stalled
+        return len(self._pending) + stalled + self._redirect_pending
 
     def shards_of(self, op: Tuple[Any, ...]) -> Tuple[int, ...]:
-        """The distinct shards an operation's keys map to (sorted).
+        """The distinct shards an operation's keys map to (sorted)."""
+        return self._shards_for_keys(tuple(self.key_extractor(tuple(op))))
 
-        Keyless operations get the deterministic fallback shard 0.
-        """
-        keys = tuple(self.key_extractor(tuple(op)))
+    def _shards_for_keys(self, keys: Tuple[Any, ...]) -> Tuple[int, ...]:
+        """The routing policy: keyless operations get the deterministic
+        fallback shard 0, keyed ones the sorted set of their shards."""
         if not keys:
             return (0,)
         return tuple(sorted({self.router.shard_of(key) for key in keys}))
@@ -421,14 +466,26 @@ class ShardedOARClient(OARClient):
         if servers is not None:
             return super().submit(op, servers)
         op = tuple(op)
-        shards = self.shards_of(op)
+        keys = tuple(self.key_extractor(op))
+        load = self.key_load
+        for key in keys:
+            load[key] = load.get(key, 0) + 1
+        shards = self._shards_for_keys(keys)
         if len(shards) == 1:
-            return self._submit_to_shard(op, shards[0])
+            return self.submit_to_shard(op, shards[0])
         return self._begin_cross_shard(op, shards)
 
-    def _submit_to_shard(self, op: Tuple[Any, ...], shard: int) -> str:
-        rid = super().submit(op, self.shard_groups[shard])
+    def submit_to_shard(self, op: Tuple[Any, ...], shard: int) -> str:
+        """Submit ``op`` to one shard's group, recording the routing.
+
+        The normal path routes by key; this entry point is for requests
+        whose shard is chosen by the caller -- transaction decision
+        branches and the rebalance coordinator's ``mig_*`` operations.
+        """
+        op = tuple(op)
+        rid = OARClient.submit(self, op, self.shard_groups[shard])
         self.routed[rid] = shard
+        self._op_of[rid] = op
         per_shard = self._routed_by_shard.get(shard)
         if per_shard is None:
             per_shard = self._routed_by_shard[shard] = []
@@ -460,17 +517,89 @@ class ShardedOARClient(OARClient):
         self.env.trace("tx_begin", txid=txid, op=op, shards=tx.shards)
         for shard in sorted(per_shard):
             for branch_op in per_shard[shard]:
-                rid = self._submit_to_shard(branch_op, shard)
+                rid = self.submit_to_shard(branch_op, shard)
                 self._branch_to_tx[rid] = txid
                 tx.prepare_rids[rid] = shard
                 tx.inflight += 1
         return txid
 
+    # ------------------------------------------------------------------
+    # WrongShard redirects (live rebalancing, repro.sharding.rebalance)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wrong_shard_of(value: Any) -> Optional[WrongShard]:
+        """The WrongShard payload of a failed result, else None."""
+        if (
+            isinstance(value, OpResult)
+            and not value.ok
+            and isinstance(value.value, WrongShard)
+        ):
+            return value.value
+        return None
+
+    def _schedule_redirect(
+        self, old_id: str, op: Tuple[Any, ...], submit_time: float
+    ) -> bool:
+        """Sync-and-retry ``op`` after a WrongShard outcome on ``old_id``.
+
+        Returns False (caller surfaces the error) when redirects are
+        disabled or the retry budget for this logical operation is
+        spent.  The retry happens ``redirect_delay`` later under a fresh
+        request id that inherits the original submission time, so
+        client-perceived latency spans the whole redirect chain.
+        """
+        attempts = self._redirect_attempts.pop(old_id, 0)
+        if self.route_authority is None or attempts >= self.max_redirects:
+            return False
+        self.redirects += 1
+        self.env.trace(
+            "redirect",
+            rid=old_id,
+            op=op,
+            attempt=attempts + 1,
+            table_epoch=self.route_authority.epoch,
+        )
+        self._redirect_pending += 1
+
+        def retry() -> None:
+            self._redirect_pending -= 1
+            self.router.sync_from(self.route_authority)
+            new_id = self.submit(op)
+            # submit() counted the op's keys into key_load again, but a
+            # retry is not new demand: left in, a key under migration
+            # (the one case that redirects) would look ever hotter to
+            # the rebalance planner and invite move oscillation.
+            for key in self.key_extractor(op):
+                self.key_load[key] -= 1
+            self._redirect_attempts[new_id] = attempts + 1
+            pending = self._pending.get(new_id)
+            if pending is not None:
+                pending.submit_time = submit_time
+            else:
+                tx = self._txs.get(new_id)
+                if tx is not None:
+                    tx.submit_time = submit_time
+
+        self.env.set_timer(self.redirect_delay, retry)
+        return True
+
+    # ------------------------------------------------------------------
+
     def _record_adoption(self, adopted: AdoptedReply) -> None:
         txid = self._branch_to_tx.pop(adopted.rid, None)
         if txid is None:
+            op = self._op_of.pop(adopted.rid, None)
+            if (
+                op is not None
+                and self._wrong_shard_of(adopted.value) is not None
+                and self._schedule_redirect(adopted.rid, op, adopted.submit_time)
+            ):
+                return  # retried; never surfaced to the driver
+            self._redirect_attempts.pop(adopted.rid, None)
             super()._record_adoption(adopted)
             return
+        self._op_of.pop(adopted.rid, None)
         tx = self._txs[txid]
         tx.inflight -= 1
         self.env.trace(
@@ -506,7 +635,7 @@ class ShardedOARClient(OARClient):
         )
         decision_op = ("tx_commit" if commit else "tx_abort", tx.txid)
         for shard in sorted(targets):
-            rid = self._submit_to_shard(decision_op, shard)
+            rid = self.submit_to_shard(decision_op, shard)
             self._branch_to_tx[rid] = tx.txid
             tx.decision_rids.add(rid)
             tx.inflight += 1
@@ -527,6 +656,25 @@ class ShardedOARClient(OARClient):
                 if isinstance(a.value, OpResult) and not a.value.ok
             )
             value = OpResult(ok=False, error=f"tx aborted: {reasons}")
+            # A prepare that failed with WrongShard means the routing
+            # was stale: the abort above released every hold the stale
+            # plan took, so the whole transaction can safely be retried
+            # against the refreshed table (it may re-plan as a
+            # different shard set, or even as a single-shard op).
+            stale = any(
+                self._wrong_shard_of(a.value) is not None
+                for a in tx.prepared.values()
+            )
+            if stale and self._schedule_redirect(tx.txid, tx.op, tx.submit_time):
+                self.env.trace(
+                    "tx_adopt",
+                    txid=tx.txid,
+                    outcome=tx.phase,
+                    shards=tx.shards,
+                    latency=self.env.now - tx.submit_time,
+                )
+                return  # retried; the aborted attempt is not surfaced
+        self._redirect_attempts.pop(tx.txid, None)
         branch_adoptions = list(tx.prepared.values()) + list(tx.decided.values())
         adopted = AdoptedReply(
             rid=tx.txid,

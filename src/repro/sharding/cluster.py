@@ -39,7 +39,7 @@ from repro.failure.detector import (
     ScriptedFailureDetector,
 )
 from repro.faults.injection import FaultSchedule
-from repro.sharding.router import ShardRouter, make_router
+from repro.sharding.router import RoutingTable, ShardRouter, make_router
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.loop import Simulator
 from repro.sim.network import SimNetwork
@@ -56,13 +56,19 @@ from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workload.generators import (
     counter_ops,
     cross_shard_bank_ops,
+    hot_shift_kv_ops,
     kv_ops,
     stack_ops,
     zipfian_kv_ops,
 )
 
 SHARDED_MACHINES = ("kv", "bank", "counter", "stack")
-WORKLOADS = ("uniform", "zipf", "cross")
+WORKLOADS = ("uniform", "zipf", "hotshift", "cross")
+
+#: Machines with per-key state: their sharded deployments carry the
+#: key-ownership books and support live migration + the migration
+#: atomicity checker.
+MIGRATABLE_MACHINES = ("kv", "bank")
 
 
 @dataclass
@@ -78,13 +84,20 @@ class ShardedScenarioConfig:
     seed: int = 0
 
     #: Workload family: "uniform" (kv over a flat key universe), "zipf"
-    #: (kv, skewed), "cross" (bank transfers with a cross-shard mix).
+    #: (kv, skewed), "hotshift" (kv, skewed with a hotspot that moves
+    #: across the key space every ``shift_every`` ops -- the live-
+    #: rebalancing stress), "cross" (bank transfers, cross-shard mix).
     workload: str = "uniform"
     n_keys: int = 32
     zipf_s: float = 1.2
+    shift_every: int = 150
     cross_ratio: float = 0.3
     accounts_per_shard: int = 4
     initial_balance: int = 1_000
+
+    #: Pause before a WrongShard-redirected operation is retried (covers
+    #: the window where a migrating key is owned by no shard).
+    redirect_delay: float = 5.0
 
     latency: Optional[LatencyModel] = None
     fd_kind: str = "heartbeat"
@@ -121,7 +134,8 @@ class ShardedRun:
     config: ShardedScenarioConfig
     sim: Simulator
     network: SimNetwork
-    router: ShardRouter
+    router: ShardRouter  #: the static base placement (epoch 0)
+    routing_table: RoutingTable  #: the authoritative epoched view
     shard_groups: Tuple[Tuple[str, ...], ...]
     shards: List[List[OARServer]]  #: servers, indexed by shard
     clients: List[ShardedOARClient]
@@ -129,6 +143,9 @@ class ShardedRun:
     detectors: Dict[str, FailureDetector]
     key_universe: Tuple[str, ...]
     initial_total: Optional[int]  #: bank only: conserved money supply
+    #: Rebalance coordinators attached to this run (see
+    #: :func:`~repro.sharding.rebalance.attach_rebalancer`).
+    rebalancers: List[Any] = field(default_factory=list)
 
     @property
     def trace(self) -> TraceLog:
@@ -161,7 +178,19 @@ class ShardedRun:
         return [adopted.latency for adopted in self.adopted().values()]
 
     def all_done(self) -> bool:
-        return all(driver.done for driver in self.drivers)
+        """Drivers finished and every live rebalancer drained its queue.
+
+        A *crashed* coordinator never drains; it is excluded so a
+        coordinator-crash scenario still reaches quiescence (its
+        stranded migrations are the recovery coordinator's job).
+        """
+        if not all(driver.done for driver in self.drivers):
+            return False
+        return all(
+            coordinator.done
+            for coordinator in self.rebalancers
+            if not coordinator.client.crashed
+        )
 
     def routed_to(self, shard: int) -> List[str]:
         """Physical rids (ops and tx branches) routed to one shard."""
@@ -183,6 +212,7 @@ class ShardedRun:
         deadline = config.horizon
         sim = self.sim
         drivers = self.drivers
+        rebalancers = self.rebalancers
 
         def finished() -> bool:
             # Horizon first: one float compare vs a sweep over every
@@ -191,6 +221,9 @@ class ShardedRun:
                 return True
             for driver in drivers:
                 if not driver.done:
+                    return False
+            for coordinator in rebalancers:
+                if not coordinator.done and not coordinator.client.crashed:
                     return False
             return True
 
@@ -203,18 +236,22 @@ class ShardedRun:
     # ------------------------------------------------------------------
 
     def check_all(self, strict: bool = True, at_least_once: bool = True) -> None:
-        """Per-shard paper properties plus cross-shard atomicity.
+        """Per-shard paper properties plus cross-shard and migration atomicity.
 
         Completeness checks (at-least-once, every transaction decided,
-        no leftover escrow, conservation) only apply to quiescent runs;
-        a run cut off mid-flight is checked for safety only.
+        every migration done, no leftover escrow, conservation) only
+        apply to quiescent runs; a run cut off mid-flight is checked for
+        safety only.
         """
         quiescent = self.all_done()
+        client_pids = self.client_pids + [
+            coordinator.client.pid for coordinator in self.rebalancers
+        ]
         for shard, servers in enumerate(self.shards):
             checkers.check_single_shard_properties(
                 self.trace,
                 servers,
-                self.client_pids,
+                client_pids,
                 self.routed_to(shard),
                 strict=strict,
                 at_least_once=at_least_once and quiescent,
@@ -225,6 +262,27 @@ class ShardedRun:
             expected_total=self.initial_total,
             quiescent=quiescent,
         )
+        if self.config.machine in MIGRATABLE_MACHINES:
+            # A coordinator crash strands its migrations without making
+            # the run non-quiescent (all_done excludes crashed
+            # coordinators), so completeness claims only hold once every
+            # journal record is terminal -- recovery coordinators drive
+            # the *same* record objects to terminal, so this settles
+            # after a successful resume.  Until then the checker runs in
+            # safety-only mode (stranded is incomplete, not non-atomic).
+            migrations_settled = all(
+                record.terminal
+                for coordinator in self.rebalancers
+                for record in coordinator.journal
+            )
+            checkers.check_migration_atomicity(
+                self.trace,
+                self.shards,
+                self.routing_table,
+                self.key_universe,
+                expected_total=self.initial_total,
+                quiescent=quiescent and migrations_settled,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -248,12 +306,18 @@ def _machine_class(kind: str) -> type:
 
 
 def _make_machine(
-    config: ShardedScenarioConfig, accounts: Tuple[str, ...]
+    config: ShardedScenarioConfig, placed_keys: Tuple[str, ...]
 ) -> StateMachine:
+    """One shard's replica state machine; ``placed_keys`` is the shard's
+    epoch-0 key ownership (migratable machines enforce it and support
+    live migration; keyless machines ignore placement)."""
     if config.machine == "kv":
-        return KVStoreMachine()
+        return KVStoreMachine(owned=placed_keys)
     if config.machine == "bank":
-        return BankMachine({account: config.initial_balance for account in accounts})
+        return BankMachine(
+            {account: config.initial_balance for account in placed_keys},
+            owned=placed_keys,
+        )
     if config.machine == "counter":
         return CounterMachine()
     if config.machine == "stack":
@@ -281,6 +345,10 @@ def _make_ops(
         return cross_shard_bank_ops(rng, accounts_by_shard, cross_ratio=0.0)
     if config.workload == "zipf":
         return zipfian_kv_ops(rng, key_universe, s=config.zipf_s)
+    if config.workload == "hotshift":
+        return hot_shift_kv_ops(
+            rng, key_universe, s=config.zipf_s, shift_every=config.shift_every
+        )
     return kv_ops(rng, keys=key_universe)
 
 
@@ -309,7 +377,10 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
 
     key_universe = _key_universe(config)
     router = make_router(config.router, config.n_shards, key_universe)
-    accounts_by_shard = router.placement(key_universe)
+    # The authoritative epoched routing view: identical to the base
+    # router at epoch 0; live rebalancing overlays key moves on it.
+    routing_table = RoutingTable(router)
+    accounts_by_shard = routing_table.placement(key_universe)
 
     shard_groups = tuple(
         tuple(f"s{shard}.p{i + 1}" for i in range(config.n_servers))
@@ -349,13 +420,17 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
     machine_cls = _machine_class(config.machine)
     clients: List[ShardedOARClient] = []
     for index in range(config.n_clients):
+        # Each client routes by its own (possibly stale) copy of the
+        # table and re-syncs from the authority on WrongShard redirects.
         client = ShardedOARClient(
             f"c{index + 1}",
             shard_groups,
-            router,
+            routing_table.copy(),
             key_extractor=machine_cls.keys_of,
             tx_planner=machine_cls.tx_branches,
             retry_interval=config.retry_interval,
+            route_authority=routing_table,
+            redirect_delay=config.redirect_delay,
         )
         clients.append(client)
         network.add_process(client)
@@ -397,6 +472,7 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
         sim=sim,
         network=network,
         router=router,
+        routing_table=routing_table,
         shard_groups=shard_groups,
         shards=shards,
         clients=clients,

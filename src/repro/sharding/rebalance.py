@@ -1,0 +1,494 @@
+"""Live shard rebalancing: online key migration between OAR groups.
+
+PR 1's router is static, so a skewed workload pins one sequencer at its
+service-rate ceiling no matter how many groups exist (the B10b Zipf
+table).  This module adds the missing control loop: a
+:class:`RebalanceCoordinator` that
+
+1. **snapshots per-key load** from the clients' submission counters,
+2. **plans key moves** off the hottest shard onto the coldest, and
+3. **executes each move as an escrow-style migration transaction** whose
+   every step is an ordinary totally-ordered request on one shard --
+   exactly the trick the cross-shard 2PC uses, so the paper's per-group
+   protocol is reused untouched:
+
+   =================  ==========  =========================================
+   step               shard       effect
+   =================  ==========  =========================================
+   ``mig_prepare``    source      freeze: ownership dropped, state exported
+                                  into the outbound escrow (kept for
+                                  recovery), forward hint recorded
+   ``mig_install``    dest        state installed, ownership taken
+                                  (idempotent by migration id)
+   *epoch bump*       --          the authoritative
+                                  :class:`~repro.sharding.router.
+                                  RoutingTable` is updated; from here new
+                                  requests route to the destination
+   ``mig_forget``     source      the outbound escrow entry is dropped
+                                  (migration garbage collection)
+   =================  ==========  =========================================
+
+The coordinator only acts on **adopted** replies, so every step it
+builds on is final by the paper's own guarantee (Proposition 7) -- an
+optimistic ``mig_prepare`` that could still be undone can never
+accumulate majority weight, hence can never be acted upon.
+
+In-flight client requests are safe throughout: a stale client that still
+routes the key to the source gets a deterministic ``WrongShard`` reply
+and retries after syncing its table copy (see
+:class:`~repro.core.client.ShardedOARClient`); between prepare and
+install the key is owned by *no* shard and every request is redirected
+until the migration lands.
+
+**Coordinator crashes** leave the exported state parked in the source
+shard's replicated outbound escrow.  A recovery coordinator (a fresh
+client process handed the crashed coordinator's :attr:`journal` -- the
+stand-in for the replicated config service a real deployment would keep
+it in) calls :meth:`RebalanceCoordinator.resume`: it probes
+``mig_status`` on the source (and, if unknown there, the destination)
+and drives each half-done migration forward -- re-installing
+idempotently, bumping the routing epoch if the crash hit before the
+bump, and forgetting the escrow.  ``check_migration_atomicity`` verifies
+the end state: every key owned by exactly one epoch-current shard, no
+state lost, duplicated, or double-counted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.client import AdoptedReply, ShardedOARClient
+from repro.sharding.router import RoutingTable
+from repro.statemachine.base import OpResult
+
+
+@dataclass
+class MigrationRecord:
+    """One key move's journal entry (the coordinator's durable state).
+
+    ``phase`` walks ``planned -> preparing -> installing -> committed ->
+    forgetting -> done`` (or ``aborted`` when the source vetoes the
+    export ``max_attempts`` times); a recovery coordinator resumes any
+    record whose phase is not terminal.
+    """
+
+    mid: str
+    key: Any
+    src: int
+    dst: int
+    phase: str = "planned"
+    state: Any = None
+    attempts: int = 0
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in ("done", "aborted")
+
+
+class RebalanceCoordinator:
+    """Drives key migrations through a dedicated sharded client.
+
+    Migrations run strictly one at a time: sequencing keeps the
+    coordinator deterministic and bounds the number of keys that are
+    ever simultaneously ownerless to one.
+
+    Parameters
+    ----------
+    client:
+        A dedicated :class:`~repro.core.client.ShardedOARClient` (the
+        coordinator takes over its ``on_adopt`` callback); crash this
+        process to crash the coordinator.
+    authority:
+        The cluster's authoritative epoched routing table; mutated
+        (epoch bump) when a migration's install is adopted.
+    observed_clients:
+        Workload clients whose per-key submission counters feed
+        :meth:`snapshot_key_load`.
+    retry_delay / max_attempts:
+        Pacing for ``mig_prepare`` retries when the source vetoes the
+        export (e.g. a pending cross-shard escrow hold on the account).
+    """
+
+    def __init__(
+        self,
+        client: ShardedOARClient,
+        authority: RoutingTable,
+        observed_clients: Iterable[Any] = (),
+        retry_delay: float = 10.0,
+        max_attempts: int = 5,
+    ) -> None:
+        self.client = client
+        self.authority = authority
+        self.observed_clients = list(observed_clients)
+        self.retry_delay = retry_delay
+        self.max_attempts = max_attempts
+        #: Every migration this coordinator ever started, in order; hand
+        #: this to a recovery coordinator's :meth:`resume` after a crash.
+        self.journal: List[MigrationRecord] = []
+        self.moves_committed = 0
+        self.moves_aborted = 0
+        self._counter = itertools.count()
+        self._queue: Deque[MigrationRecord] = deque()
+        self._active: Optional[MigrationRecord] = None
+        self._stage_of: Dict[str, str] = {}  # rid -> protocol stage
+        self._resuming: Set[str] = set()  # mids adopted from a crashed peer
+        #: Scheduled-but-not-yet-fired rebalances (attach_rebalancer's
+        #: ``start_at``); the coordinator is not ``done`` while one is
+        #: pending, so a run cannot quiesce out from under the timer.
+        self._pending_starts = 0
+        client.on_adopt = self._on_adopt
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def env(self) -> Any:
+        return self.client.env
+
+    @property
+    def done(self) -> bool:
+        """True when no migration is active, queued, or scheduled."""
+        return (
+            self._active is None
+            and not self._queue
+            and self._pending_starts == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Load snapshot and planning
+    # ------------------------------------------------------------------
+
+    def snapshot_key_load(self) -> Dict[Any, int]:
+        """Aggregate per-key submission counts across observed clients."""
+        load: Dict[Any, int] = {}
+        for client in self.observed_clients:
+            for key, count in client.key_load.items():
+                load[key] = load.get(key, 0) + count
+        return load
+
+    def plan_moves(
+        self,
+        load: Optional[Dict[Any, int]] = None,
+        max_moves: int = 8,
+    ) -> List[Tuple[Any, int, int]]:
+        """Greedy plan: repeatedly move the heaviest key that shrinks the
+        hot/cold gap from the hottest shard to the coldest.
+
+        Returns ``[(key, src, dst), ...]`` without executing anything.
+        Deterministic: ties break on the key itself.  A candidate key
+        must carry less load than the current hot-cold gap, otherwise
+        moving it would just swap which shard is hot.
+        """
+        if load is None:
+            load = self.snapshot_key_load()
+        shard_load = [0.0] * self.authority.n_shards
+        keys_by_shard: Dict[int, List[Tuple[int, Any]]] = {}
+        shard_of = self.authority.shard_of
+        for key, count in load.items():
+            shard = shard_of(key)
+            shard_load[shard] += count
+            keys_by_shard.setdefault(shard, []).append((count, key))
+        moved: List[Tuple[Any, int, int]] = []
+        planned_away: Set[Any] = set()
+        while len(moved) < max_moves:
+            hot = max(range(len(shard_load)), key=lambda s: (shard_load[s], -s))
+            cold = min(range(len(shard_load)), key=lambda s: (shard_load[s], s))
+            gap = shard_load[hot] - shard_load[cold]
+            candidates = sorted(
+                (
+                    (count, key)
+                    for count, key in keys_by_shard.get(hot, ())
+                    if 0 < count < gap and key not in planned_away
+                ),
+                key=lambda item: (-item[0], str(item[1])),
+            )
+            if not candidates:
+                break
+            count, key = candidates[0]
+            moved.append((key, hot, cold))
+            planned_away.add(key)
+            shard_load[hot] -= count
+            shard_load[cold] += count
+            keys_by_shard.setdefault(cold, []).append((count, key))
+        return moved
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def rebalance(self, max_moves: int = 8) -> List[MigrationRecord]:
+        """Snapshot load, plan, and enqueue the planned migrations."""
+        records = [
+            self.migrate(key, dst, src=src)
+            for key, src, dst in self.plan_moves(max_moves=max_moves)
+        ]
+        return records
+
+    def migrate(self, key: Any, dst: int, src: Optional[int] = None) -> MigrationRecord:
+        """Enqueue one explicit key move (tests and manual rebalancing)."""
+        if src is None:
+            src = self.authority.shard_of(key)
+        record = MigrationRecord(
+            mid=f"{self.client.pid}-m{next(self._counter)}",
+            key=key,
+            src=src,
+            dst=dst,
+        )
+        self.journal.append(record)
+        self._queue.append(record)
+        self._pump()
+        return record
+
+    def resume(self, journal: Iterable[MigrationRecord]) -> None:
+        """Adopt a crashed coordinator's journal and finish its work.
+
+        Terminal records are kept for the books; every other record is
+        re-driven from a ``mig_status`` probe so the recovery is
+        idempotent no matter where the crash hit.
+        """
+        for record in journal:
+            self.journal.append(record)
+            if record.terminal:
+                continue
+            self._resuming.add(record.mid)
+            self._queue.append(record)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # The migration state machine (driven by adoptions)
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._active is not None or not self._queue:
+            return
+        self._active = self._queue.popleft()
+        self._start(self._active)
+
+    def _advance(self) -> None:
+        self._active = None
+        self._pump()
+
+    def _start(self, record: MigrationRecord) -> None:
+        if record.mid in self._resuming:
+            self.env.trace(
+                "mig_resume", mid=record.mid, key=record.key, from_phase=record.phase
+            )
+            record.phase = "recovering"
+            self._submit(("mig_status", record.mid), record.src, "src_status")
+            return
+        record.phase = "preparing"
+        self.env.trace(
+            "mig_begin",
+            mid=record.mid,
+            key=record.key,
+            src=record.src,
+            dst=record.dst,
+        )
+        self._submit(
+            ("mig_prepare", record.mid, record.key, record.dst),
+            record.src,
+            "prepare",
+        )
+
+    def _submit(self, op: Tuple[Any, ...], shard: int, stage: str) -> None:
+        rid = self.client.submit_to_shard(op, shard)
+        self._stage_of[rid] = stage
+
+    def _on_adopt(self, adopted: AdoptedReply) -> None:
+        stage = self._stage_of.pop(adopted.rid, None)
+        record = self._active
+        if stage is None or record is None:
+            return
+        result = adopted.value
+        if not isinstance(result, OpResult):
+            raise RuntimeError(f"rebalancer: non-OpResult adoption {adopted!r}")
+        handler = getattr(self, f"_on_{stage}")
+        handler(record, result)
+
+    # -- normal path ----------------------------------------------------
+
+    def _on_prepare(self, record: MigrationRecord, result: OpResult) -> None:
+        if result.ok:
+            record.state = result.value[1]  # ("exported", state)
+            record.phase = "installing"
+            self.env.trace("mig_prepared", mid=record.mid, key=record.key)
+            self._submit(
+                ("mig_install", record.mid, record.key, record.state),
+                record.dst,
+                "install",
+            )
+            return
+        if "already prepared" in result.error:
+            # An earlier prepare for this mid won the race -- typically
+            # one that was still in flight across a crash/recovery
+            # hand-off and got totally ordered after the status probe
+            # answered "unknown".  The state is in the source's escrow;
+            # re-probe and continue from there instead of aborting.
+            self._submit(("mig_status", record.mid), record.src, "src_status")
+            return
+        record.attempts += 1
+        record.error = result.error
+        if record.attempts < self.max_attempts:
+            # Transient veto (e.g. an escrow hold on the account): try
+            # the same migration again after a pause.
+            self.env.set_timer(self.retry_delay, lambda: self._retry(record))
+            return
+        self._abort(record)
+
+    def _retry(self, record: MigrationRecord) -> None:
+        if self._active is record and not record.terminal:
+            self._start(record)
+
+    def _abort(self, record: MigrationRecord) -> None:
+        record.phase = "aborted"
+        self.moves_aborted += 1
+        self.env.trace(
+            "mig_abort", mid=record.mid, key=record.key, reason=record.error
+        )
+        self._advance()
+
+    def _on_install(self, record: MigrationRecord, result: OpResult) -> None:
+        if not result.ok:
+            # Install can only fail on ownership/config errors; surface
+            # it as an abort (the exported state stays in the source's
+            # escrow, where the migration checker will point at it).
+            record.error = result.error
+            self._abort(record)
+            return
+        self.env.trace("mig_installed", mid=record.mid, key=record.key)
+        self._commit(record)
+
+    def _commit_table(self, record: MigrationRecord) -> None:
+        """Route the key to its new home and trace the commit.
+
+        Idempotent under recovery: the epoch is only bumped if the
+        table does not already route the key to the destination.
+        """
+        if self.authority.shard_of(record.key) != record.dst:
+            epoch = self.authority.move(record.key, record.dst)
+        else:
+            epoch = self.authority.epoch
+        self.env.trace(
+            "mig_commit",
+            mid=record.mid,
+            key=record.key,
+            dst=record.dst,
+            epoch=epoch,
+        )
+
+    def _commit(self, record: MigrationRecord) -> None:
+        self._commit_table(record)
+        record.phase = "forgetting"
+        self._submit(("mig_forget", record.mid), record.src, "forget")
+
+    def _on_forget(self, record: MigrationRecord, result: OpResult) -> None:
+        record.phase = "done"
+        self.moves_committed += 1
+        self.env.trace("mig_done", mid=record.mid, key=record.key)
+        self._advance()
+
+    # -- recovery path --------------------------------------------------
+
+    def _on_src_status(self, record: MigrationRecord, result: OpResult) -> None:
+        status = result.value
+        if status[0] == "prepared":
+            _tag, _key, _dst, state = status
+            record.state = state
+            record.phase = "installing"
+            self._resuming.discard(record.mid)
+            self.env.trace("mig_prepared", mid=record.mid, key=record.key)
+            self._submit(
+                ("mig_install", record.mid, record.key, record.state),
+                record.dst,
+                "install",
+            )
+            return
+        # Unknown at the source: either never prepared, or already
+        # forgotten (fully done).  The destination knows which.
+        self._submit(("mig_status", record.mid), record.dst, "dst_status")
+
+    def _on_dst_status(self, record: MigrationRecord, result: OpResult) -> None:
+        status = result.value
+        self._resuming.discard(record.mid)
+        if status[0] == "installed":
+            # Unknown at the source but installed at the destination:
+            # install and forget both landed before the crash.  Ensure
+            # the epoch bump and close the record.
+            self.env.trace("mig_installed", mid=record.mid, key=record.key)
+            self._commit_resumed_installed(record)
+            return
+        # Unknown on both sides: the migration never prepared.  Restart
+        # it from scratch (the key still lives on the source).
+        self._start(record)
+
+    def _commit_resumed_installed(self, record: MigrationRecord) -> None:
+        # Install and forget both landed before the crash: nothing left
+        # to submit, just ensure the table and close the record.
+        self._commit_table(record)
+        record.phase = "done"
+        self.moves_committed += 1
+        self.env.trace("mig_done", mid=record.mid, key=record.key)
+        self._advance()
+
+
+# ----------------------------------------------------------------------
+# Harness glue
+# ----------------------------------------------------------------------
+
+def attach_rebalancer(
+    run: Any,
+    pid: str = "rb1",
+    start_at: Optional[float] = None,
+    max_moves: int = 8,
+    retry_delay: float = 10.0,
+    max_attempts: int = 5,
+) -> RebalanceCoordinator:
+    """Attach a rebalance coordinator (with its own client process) to a
+    built :class:`~repro.sharding.cluster.ShardedRun`.
+
+    With ``start_at`` the coordinator snapshots load and rebalances at
+    that simulated time (use a warm-up window so the counters mean
+    something); without it, call :meth:`RebalanceCoordinator.rebalance`
+    or :meth:`~RebalanceCoordinator.migrate` yourself.  Designed for the
+    config's ``arm`` hook::
+
+        ShardedScenarioConfig(..., arm=lambda run: attach_rebalancer(
+            run, start_at=150.0))
+    """
+    from repro.sharding.cluster import _machine_class
+
+    machine_cls = _machine_class(run.config.machine)
+    client = ShardedOARClient(
+        pid,
+        run.shard_groups,
+        run.routing_table.copy(),
+        key_extractor=machine_cls.keys_of,
+        tx_planner=machine_cls.tx_branches,
+        retry_interval=run.config.retry_interval,
+    )
+    run.network.start(client)
+    coordinator = RebalanceCoordinator(
+        client,
+        run.routing_table,
+        observed_clients=run.clients,
+        retry_delay=retry_delay,
+        max_attempts=max_attempts,
+    )
+    if start_at is not None:
+        # Hold the coordinator "not done" until the timer fires, or a
+        # run whose drivers finish before start_at would quiesce out
+        # from under the scheduled rebalance and silently skip it.
+        coordinator._pending_starts += 1
+
+        def fire() -> None:
+            coordinator._pending_starts -= 1
+            coordinator.rebalance(max_moves=max_moves)
+
+        run.sim.schedule_at(start_at, fire)
+    run.rebalancers.append(coordinator)
+    return coordinator

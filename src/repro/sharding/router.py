@@ -14,13 +14,24 @@ Two strategies are provided:
   semantics; the default.
 * :class:`RangeShardRouter` -- ordered placement by boundary keys, the
   building block for range scans and locality-aware placement.
+
+On top of either strategy sits the :class:`RoutingTable`: an
+**epoch-versioned** routing view that overlays per-key overrides (the
+result of live migrations, ``repro.sharding.rebalance``) on the static
+base router.  The cluster holds one *authoritative* table, mutated only
+by the rebalance coordinator when a migration commits; every client
+holds a cheap *copy* that may go stale.  Staleness is safe: a shard that
+no longer owns a key answers with a deterministic ``WrongShard`` result,
+and the client re-syncs its copy from the authority and retries (the
+epoch number makes "did anything change since I last looked?" a single
+integer compare).
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 
 class ShardRouter:
@@ -88,6 +99,65 @@ class RangeShardRouter(ShardRouter):
         return (
             f"RangeShardRouter(n_shards={self.n_shards}, "
             f"boundaries={self.boundaries!r})"
+        )
+
+
+class RoutingTable(ShardRouter):
+    """An epoch-versioned routing view: base router + per-key overrides.
+
+    ``epoch`` starts at 0 and is bumped by every committed key move, so
+    two views agree exactly when their epochs agree (overrides are only
+    ever copied whole from the authority).  A table with no overrides
+    routes identically to its base router, which keeps the epoch-0
+    placement equal to the static placement the cluster was built with.
+    """
+
+    def __init__(
+        self,
+        base: ShardRouter,
+        overrides: Optional[Mapping[Any, int]] = None,
+        epoch: int = 0,
+    ) -> None:
+        super().__init__(base.n_shards)
+        self.base = base
+        self.overrides: Dict[Any, int] = dict(overrides or {})
+        self.epoch = epoch
+
+    def shard_of(self, key: Any) -> int:
+        shard = self.overrides.get(key)
+        if shard is not None:
+            return shard
+        return self.base.shard_of(key)
+
+    def move(self, key: Any, dst: int) -> int:
+        """Commit a key move (authority side); returns the new epoch.
+
+        Only the rebalance coordinator calls this, and only *after* the
+        key's state is installed on ``dst`` -- a table must never point
+        at a shard that cannot serve the key.
+        """
+        if not 0 <= dst < self.n_shards:
+            raise ValueError(f"destination shard {dst} out of range")
+        self.overrides[key] = dst
+        self.epoch += 1
+        return self.epoch
+
+    def copy(self) -> "RoutingTable":
+        """An independent snapshot (a client's possibly-stale view)."""
+        return RoutingTable(self.base, self.overrides, self.epoch)
+
+    def sync_from(self, authority: "RoutingTable") -> bool:
+        """Catch up with the authority; returns True if anything changed."""
+        if authority.epoch == self.epoch:
+            return False
+        self.overrides = dict(authority.overrides)
+        self.epoch = authority.epoch
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingTable(base={self.base!r}, epoch={self.epoch}, "
+            f"moves={len(self.overrides)})"
         )
 
 

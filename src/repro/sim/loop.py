@@ -139,11 +139,19 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of *live* events still queued.
+        """Number of *live* events still queued (the true backlog).
 
-        Cancelled timers awaiting lazy removal are excluded (they will
-        never run), so run-budget heuristics see the true backlog; see
-        :attr:`cancelled_pending` for the dead-entry count.
+        Cancellation is lazy (see the module docstring): a cancelled
+        timer stays physically queued until it reaches the front or a
+        compaction sweeps it, but it will never run.  This property
+        excludes those dead entries, so quiescence predicates and
+        run-budget heuristics ("is anything left to do?") see exactly
+        the events that can still fire.  Before the PR 2 kernel rewrite
+        this counted dead entries too, which made cancel-heavy runs
+        (heartbeat re-arming) look perpetually busy.
+
+        Invariant: ``pending_events + cancelled_pending`` equals the
+        physical queue size (heap plus same-instant fast lane).
         """
         return (
             len(self._queue)
@@ -154,7 +162,14 @@ class Simulator:
 
     @property
     def cancelled_pending(self) -> int:
-        """Cancelled entries still physically queued (lazy removal)."""
+        """Cancelled entries still physically queued, awaiting lazy removal.
+
+        Purely diagnostic: these entries occupy memory and are skipped
+        at pop time, but can never fire.  The counter shrinks as dead
+        entries reach the heap front (or the fast lane drains) and drops
+        to near zero whenever compaction rebuilds a mostly-dead heap.
+        Useful for asserting that compaction keeps up in soak tests.
+        """
         return self._cancelled_heap + self._cancelled_fast
 
     def child_rng(self, name: str) -> random.Random:

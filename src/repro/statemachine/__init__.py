@@ -21,7 +21,12 @@ This package provides:
 """
 
 from repro.statemachine.bank import BankMachine
-from repro.statemachine.base import OpResult, StateMachine
+from repro.statemachine.base import (
+    MigratableMachine,
+    OpResult,
+    StateMachine,
+    WrongShard,
+)
 from repro.statemachine.counter import CounterMachine
 from repro.statemachine.kvstore import KVStoreMachine
 from repro.statemachine.stack import StackMachine
@@ -31,8 +36,10 @@ __all__ = [
     "BankMachine",
     "CounterMachine",
     "KVStoreMachine",
+    "MigratableMachine",
     "OpResult",
     "StackMachine",
     "StateMachine",
     "UndoLog",
+    "WrongShard",
 ]

@@ -39,39 +39,59 @@ replicated request on its shard::
                                             account, credit is dropped
 
 The conserved quantity under transfer-only workloads is
-:meth:`conserved_total` = account balances + escrowed debits, summed
-across all shards; the cross-shard atomicity checker asserts it.
+:meth:`conserved_total` = account balances + escrowed debits + balances
+exported by in-flight key migrations, summed across all shards; the
+cross-shard atomicity and migration checkers assert it.
+
+Live rebalancing (``repro.sharding.rebalance``) migrates whole accounts
+between shards via the ``mig_*`` family of
+:class:`~repro.statemachine.base.MigratableMachine`; the exported state
+of an account is its balance.  An account with a pending escrow hold
+refuses to export (:meth:`export_blocked`), so the transfer escrow and
+the migration escrow never interleave on one account.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.statemachine.base import OpResult, StateMachine
+from repro.statemachine.base import MigratableMachine, OpResult
 
 #: One escrow entry: ("debit" | "credit", account, amount).
 HoldEntry = Tuple[str, str, int]
 
 
-class BankMachine(StateMachine):
+class BankMachine(MigratableMachine):
     """Deterministic accounts map with exact inverse operations."""
 
-    def __init__(self, initial_accounts: Dict[str, int] = None) -> None:
+    def __init__(
+        self,
+        initial_accounts: Dict[str, int] = None,
+        owned: Optional[Iterable[str]] = None,
+    ) -> None:
         self._accounts: Dict[str, int] = dict(initial_accounts or {})
         self._holds: Dict[str, HoldEntry] = {}
+        self._init_migration(owned)
 
     def state(self) -> Dict[str, Any]:
-        return {"accounts": self._accounts, "holds": self._holds}
+        return {
+            "accounts": self._accounts,
+            "holds": self._holds,
+            "migration": self._migration_state(),
+        }
 
     def restore(self, snapshot: Dict[str, Any]) -> None:
         self._accounts = dict(snapshot["accounts"])
         self._holds = dict(snapshot["holds"])
+        self._restore_migration(snapshot.get("migration"))
 
     def fingerprint(self) -> Tuple[Tuple[Any, ...], ...]:
         accounts = tuple(sorted(self._accounts.items()))
-        if not self._holds:
-            return accounts
-        return accounts + (("__holds__", tuple(sorted(self._holds.items()))),)
+        if self._holds:
+            accounts = accounts + (
+                ("__holds__", tuple(sorted(self._holds.items()))),
+            )
+        return accounts + self._migration_fingerprint()
 
     def total_balance(self) -> int:
         """Conserved under deposit-free workloads; used by invariant tests."""
@@ -84,9 +104,24 @@ class BankMachine(StateMachine):
             if kind == "debit"
         )
 
+    def migrating_total(self) -> int:
+        """Balances exported by migrations still in this shard's escrow."""
+        return sum(
+            state for _key, _dst, state in self._outbound.values()
+            if isinstance(state, int)
+        )
+
     def conserved_total(self) -> int:
-        """Balances + escrow: the cross-shard conservation invariant."""
-        return self.total_balance() + self.escrowed_total()
+        """Balances + both escrows: the cross-shard conservation invariant.
+
+        A balance exported by ``mig_prepare`` is counted here (at the
+        source) until ``mig_forget``; between ``mig_install`` and the
+        forget it is briefly counted on both shards, which the migration
+        checker compensates for by subtracting installed-but-unforgotten
+        exports (see :func:`~repro.analysis.checkers.
+        check_migration_atomicity`).
+        """
+        return self.total_balance() + self.escrowed_total() + self.migrating_total()
 
     def pending_holds(self) -> Dict[str, HoldEntry]:
         """Escrow entries of transactions not yet committed or aborted."""
@@ -121,6 +156,22 @@ class BankMachine(StateMachine):
             }
         return None
 
+    # -- live migration (MigratableMachine) -----------------------------
+
+    def export_key(self, key: str) -> int:
+        return self._accounts.pop(key)
+
+    def install_key(self, key: str, state: int) -> None:
+        self._accounts[key] = state
+
+    def export_blocked(self, key: str) -> Optional[str]:
+        if key not in self._accounts:
+            return f"no account {key}"
+        for txid, (_kind, account, _amount) in self._holds.items():
+            if account == key:
+                return f"escrow hold {txid} pending on {key}"
+        return None
+
     # ------------------------------------------------------------------
 
     def apply(self, op: Tuple[Any, ...]) -> OpResult:
@@ -128,6 +179,16 @@ class BankMachine(StateMachine):
         return result
 
     def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        # Ownership machinery only exists on sharded machines; unsharded
+        # ones (owned=None) must pay nothing for it on the hot path --
+        # their mig_* ops simply fall through to bad_op.
+        if self._owned is not None:
+            migration = self._migration_op(op)
+            if migration is not None:
+                return migration
+            redirect = self._ownership_guard(op)
+            if redirect is not None:
+                return redirect
         name = op[0] if op else None
 
         if name == "open" and len(op) == 2:

@@ -12,7 +12,24 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class WrongShard:
+    """Deterministic "this shard does not own that key" redirect payload.
+
+    Returned as the ``value`` of a failed :class:`OpResult` whenever an
+    operation reaches a machine that no longer (or does not yet) own one
+    of the operation's keys -- the replicated, totally-ordered analogue
+    of an HTTP 301.  ``hint`` is the shard the key was last exported to,
+    when the machine still remembers it (None otherwise); clients treat
+    the hint as advisory and re-sync their routing table from the
+    authority before retrying.
+    """
+
+    key: Any
+    hint: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -69,6 +86,22 @@ class StateMachine:
         """
         return None
 
+    def export_key(self, key: Any) -> Any:
+        """Detach and return one key's state for live migration.
+
+        The returned value is the opaque, deterministic payload that
+        :meth:`install_key` accepts on the destination shard; after
+        export the key's state is gone from this machine.  Machines that
+        support live rebalancing (``repro.sharding.rebalance``) override
+        this; the default raises, which makes migration attempts against
+        non-migratable machines a loud error instead of silent data loss.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot export keys")
+
+    def install_key(self, key: Any, state: Any) -> None:
+        """Install a key's exported state (the migration receive side)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot install keys")
+
     def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
         """Apply ``op`` and also return a closure that undoes it.
 
@@ -105,3 +138,237 @@ class StateMachine:
     def bad_op(op: Tuple[Any, ...]) -> OpResult:
         """The deterministic result for an unrecognized operation."""
         return OpResult(ok=False, error=f"unknown operation: {op!r}")
+
+
+def _noop() -> None:
+    """Undo of a read-only or failed operation."""
+
+
+class MigratableMachine(StateMachine):
+    """Key ownership + the live-migration operation family.
+
+    A sharded deployment gives every replica of shard *s* the same
+    ``owned`` key set (the epoch-0 placement); from then on ownership
+    changes only through the migration operations below, which are
+    ordinary totally-ordered requests on their shard -- so all replicas
+    of a group agree on ownership by the same argument they agree on any
+    other state (and replica-convergence checks cover it, because the
+    ownership books are part of :meth:`fingerprint`).
+
+    The migration protocol (driven by
+    :class:`~repro.sharding.rebalance.RebalanceCoordinator`)::
+
+        ("mig_prepare", mid, key, dst)
+            -> ok, ("exported", state); atomically freezes the key on
+               the source: ownership is dropped, the key's state moves
+               into the outbound escrow under ``mid`` (retained for
+               coordinator-crash recovery), and a forward hint key->dst
+               is recorded.  Fails deterministically when the key is not
+               owned, the mid exists, or the machine vetoes the export
+               (:meth:`export_blocked` -- e.g. a bank account with a
+               pending cross-shard escrow hold).
+        ("mig_install", mid, key, state)
+            -> ok, ("installed",); installs the state and takes
+               ownership on the destination.  Idempotent by ``mid``
+               (a recovery coordinator may re-submit): a repeat returns
+               ok, ("already",) without touching state.
+        ("mig_status", mid)
+            -> ok, ("prepared", key, dst, state) | ("installed", key)
+               | ("unknown",); the read-only probe recovery uses to
+               resume a half-done migration.
+        ("mig_forget", mid)
+            -> ok; drops the outbound escrow entry once the routing
+               epoch is bumped (the migration's garbage collection).
+               Idempotent: unknown mids answer ok, ("noop",).
+
+    Any keyed operation that reaches a machine which does not own the
+    key gets a deterministic :class:`WrongShard` error result -- the
+    redirect the sharded client turns into a table re-sync and retry.
+    Machines with ``owned=None`` (the unsharded default) own everything
+    and never redirect; subclasses gate the whole dispatch behind
+    ``self._owned is not None`` so unsharded hot paths pay a single
+    attribute check (``mig_*`` ops then fall through to ``bad_op`` --
+    still a deterministic error, just an anonymous one).
+    """
+
+    #: mid -> (key, dst shard, exported state): the outbound escrow.
+    _outbound: Dict[str, Tuple[Any, int, Any]]
+
+    def _init_migration(self, owned: Optional[Any]) -> None:
+        """Call from ``__init__``; ``owned=None`` means "owns all keys"."""
+        self._owned: Optional[Set[Any]] = None if owned is None else set(owned)
+        self._outbound = {}
+        self._installed: Dict[str, Any] = {}  # mid -> key
+        self._forward: Dict[Any, int] = {}  # key -> last export destination
+
+    # -- introspection (checkers, tests) -------------------------------
+
+    def owns(self, key: Any) -> bool:
+        return self._owned is None or key in self._owned
+
+    def owned_keys(self) -> Optional[FrozenSet[Any]]:
+        """The ownership set, or None for "owns everything" (unsharded)."""
+        return None if self._owned is None else frozenset(self._owned)
+
+    def outbound_migrations(self) -> Dict[str, Tuple[Any, int, Any]]:
+        """Exported-but-not-forgotten escrow entries (mid -> key, dst, state)."""
+        return dict(self._outbound)
+
+    def installed_migrations(self) -> Dict[str, Any]:
+        """Migrations installed here (mid -> key), for idempotence/recovery."""
+        return dict(self._installed)
+
+    def export_blocked(self, key: Any) -> Optional[str]:
+        """A reason this key cannot be exported right now, or None.
+
+        Subclass hook; the bank refuses while a cross-shard escrow hold
+        references the account, so the two escrow protocols never
+        interleave on one key.
+        """
+        return None
+
+    # -- shared dispatch helpers ---------------------------------------
+
+    def _wrong_shard(self, key: Any) -> Tuple[OpResult, Callable[[], None]]:
+        hint = self._forward.get(key)
+        return (
+            OpResult(
+                ok=False,
+                value=WrongShard(key, hint),
+                error=f"wrong_shard: {key!r} is not owned here",
+            ),
+            _noop,
+        )
+
+    def _ownership_guard(
+        self, op: Tuple[Any, ...]
+    ) -> Optional[Tuple[OpResult, Callable[[], None]]]:
+        """WrongShard result if ``op`` touches a key this shard lost."""
+        if self._owned is None:
+            return None
+        owned = self._owned
+        for key in self.keys_of(op):
+            if key not in owned:
+                return self._wrong_shard(key)
+        return None
+
+    def _migration_fingerprint(self) -> Tuple[Any, ...]:
+        """Ownership-book suffix for :meth:`fingerprint` (empty when inert)."""
+        if self._owned is None and not self._outbound and not self._installed:
+            return ()
+        owned = () if self._owned is None else tuple(sorted(self._owned))
+        return (
+            ("__owned__", owned),
+            ("__outbound__", tuple(sorted(self._outbound.items()))),
+            ("__installed__", tuple(sorted(self._installed.items()))),
+        )
+
+    def _migration_state(self) -> Dict[str, Any]:
+        return {
+            "owned": None if self._owned is None else set(self._owned),
+            "outbound": dict(self._outbound),
+            "installed": dict(self._installed),
+            "forward": dict(self._forward),
+        }
+
+    def _restore_migration(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        if snapshot is None:
+            return
+        owned = snapshot["owned"]
+        self._owned = None if owned is None else set(owned)
+        self._outbound = dict(snapshot["outbound"])
+        self._installed = dict(snapshot["installed"])
+        self._forward = dict(snapshot["forward"])
+
+    # -- the operation family ------------------------------------------
+
+    def _migration_op(
+        self, op: Tuple[Any, ...]
+    ) -> Optional[Tuple[OpResult, Callable[[], None]]]:
+        """Handle a ``mig_*`` operation; None when ``op`` is not one."""
+        name = op[0] if op else None
+        if name.__class__ is not str or not name.startswith("mig_"):
+            return None
+        if name == "mig_prepare" and len(op) == 4:
+            return self._mig_prepare(op[1], op[2], op[3])
+        if name == "mig_install" and len(op) == 4:
+            return self._mig_install(op[1], op[2], op[3])
+        if name == "mig_status" and len(op) == 2:
+            return self._mig_status(op[1])
+        if name == "mig_forget" and len(op) == 2:
+            return self._mig_forget(op[1])
+        return None
+
+    def _mig_prepare(
+        self, mid: str, key: Any, dst: Any
+    ) -> Tuple[OpResult, Callable[[], None]]:
+        if self._owned is None:
+            return OpResult(ok=False, error="mig_prepare: machine is not sharded"), _noop
+        if mid in self._outbound:
+            return OpResult(ok=False, error=f"mig_prepare: {mid} already prepared"), _noop
+        if key not in self._owned:
+            result, undo = self._wrong_shard(key)
+            return OpResult(ok=False, value=result.value, error=f"mig_prepare: {result.error}"), undo
+        blocked = self.export_blocked(key)
+        if blocked is not None:
+            return OpResult(ok=False, error=f"mig_prepare: {blocked}"), _noop
+        state = self.export_key(key)
+        self._owned.discard(key)
+        self._outbound[mid] = (key, dst, state)
+        prev_forward = self._forward.get(key)
+        self._forward[key] = dst
+
+        def undo_prepare() -> None:
+            del self._outbound[mid]
+            self.install_key(key, state)
+            self._owned.add(key)
+            if prev_forward is None:
+                self._forward.pop(key, None)
+            else:
+                self._forward[key] = prev_forward
+
+        return OpResult(ok=True, value=("exported", state)), undo_prepare
+
+    def _mig_install(
+        self, mid: str, key: Any, state: Any
+    ) -> Tuple[OpResult, Callable[[], None]]:
+        if mid in self._installed:
+            return OpResult(ok=True, value=("already",)), _noop
+        if self._owned is None:
+            return OpResult(ok=False, error="mig_install: machine is not sharded"), _noop
+        if key in self._owned:
+            return OpResult(ok=False, error=f"mig_install: {key!r} already owned here"), _noop
+        self.install_key(key, state)
+        self._owned.add(key)
+        self._installed[mid] = key
+        prev_forward = self._forward.pop(key, None)
+
+        def undo_install() -> None:
+            del self._installed[mid]
+            self._owned.discard(key)
+            self.export_key(key)  # drop the just-installed state
+            if prev_forward is not None:
+                self._forward[key] = prev_forward
+
+        return OpResult(ok=True, value=("installed",)), undo_install
+
+    def _mig_status(self, mid: str) -> Tuple[OpResult, Callable[[], None]]:
+        entry = self._outbound.get(mid)
+        if entry is not None:
+            key, dst, state = entry
+            return OpResult(ok=True, value=("prepared", key, dst, state)), _noop
+        key = self._installed.get(mid)
+        if key is not None:
+            return OpResult(ok=True, value=("installed", key)), _noop
+        return OpResult(ok=True, value=("unknown",)), _noop
+
+    def _mig_forget(self, mid: str) -> Tuple[OpResult, Callable[[], None]]:
+        entry = self._outbound.get(mid)
+        if entry is None:
+            return OpResult(ok=True, value=("noop",)), _noop
+        del self._outbound[mid]
+
+        def undo_forget() -> None:
+            self._outbound[mid] = entry
+
+        return OpResult(ok=True, value=("forgotten",)), undo_forget

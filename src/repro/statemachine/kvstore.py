@@ -7,31 +7,63 @@ Operations::
     ("delete", key)            -> ok, removed value; error if absent
     ("cas", key, old, new)     -> ok, True on success; ok, False on mismatch
     ("keys",)                  -> ok, sorted tuple of keys
+
+Sharded deployments construct the machine with an ``owned`` key set and
+get the full live-migration family (``mig_prepare`` / ``mig_install`` /
+``mig_status`` / ``mig_forget``) plus WrongShard redirects for keys this
+shard lost -- see :class:`~repro.statemachine.base.MigratableMachine`.
+The exported per-key state is ``("present", value)`` or ``("absent",)``
+(an owned key may simply never have been set).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+import copy
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.statemachine.base import OpResult, StateMachine
+from repro.statemachine.base import MigratableMachine, OpResult
 
 _ABSENT = object()  # sentinel: key had no previous binding
 
+#: Tags the composite snapshot shape so ``restore`` can tell it apart
+#: from a legacy bare data dict without sniffing user-controlled keys.
+_SNAPSHOT_TAG = "__kv_snapshot__"
 
-class KVStoreMachine(StateMachine):
+
+class KVStoreMachine(MigratableMachine):
     """Hash-map state machine with O(1) inverse operations."""
 
-    def __init__(self) -> None:
+    def __init__(self, owned: Optional[Iterable[Any]] = None) -> None:
         self._data: Dict[Any, Any] = {}
+        self._init_migration(owned)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep snapshot carrying the migration/ownership books too.
+
+        ``state()`` stays the raw data dict (the read-only view tests
+        and examples index into), but a snapshot must round-trip the
+        whole machine -- ownership included -- or a snapshot-based undo
+        on a sharded replica would silently resurrect departed keys.
+        """
+        return {
+            _SNAPSHOT_TAG: 1,
+            "data": copy.deepcopy(self._data),
+            "migration": copy.deepcopy(self._migration_state()),
+        }
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        if snapshot.get(_SNAPSHOT_TAG) == 1:
+            self._data = dict(snapshot["data"])
+            self._restore_migration(snapshot["migration"])
+        else:  # legacy shape: a bare data dict
+            self._data = dict(snapshot)
 
     def state(self) -> Dict[Any, Any]:
         return self._data
 
-    def restore(self, snapshot: Dict[Any, Any]) -> None:
-        self._data = dict(snapshot)
-
     def fingerprint(self) -> Tuple[Tuple[Any, Any], ...]:
-        return tuple(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+        data = tuple(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+        return data + self._migration_fingerprint()
 
     @staticmethod
     def keys_of(op: Tuple[Any, ...]) -> Tuple[Any, ...]:
@@ -40,11 +72,36 @@ class KVStoreMachine(StateMachine):
             return (op[1],)
         return ()
 
+    # -- live migration (MigratableMachine) -----------------------------
+
+    def export_key(self, key: Any) -> Tuple[Any, ...]:
+        if key in self._data:
+            return ("present", self._data.pop(key))
+        return ("absent",)
+
+    def install_key(self, key: Any, state: Tuple[Any, ...]) -> None:
+        if state[0] == "present":
+            self._data[key] = state[1]
+        else:
+            self._data.pop(key, None)
+
+    # ------------------------------------------------------------------
+
     def apply(self, op: Tuple[Any, ...]) -> OpResult:
         result, _undo = self.apply_with_undo(op)
         return result
 
     def apply_with_undo(self, op: Tuple[Any, ...]) -> Tuple[OpResult, Callable[[], None]]:
+        # Ownership machinery only exists on sharded machines; unsharded
+        # ones (owned=None) must pay nothing for it on the hot path --
+        # their mig_* ops simply fall through to bad_op.
+        if self._owned is not None:
+            migration = self._migration_op(op)
+            if migration is not None:
+                return migration
+            redirect = self._ownership_guard(op)
+            if redirect is not None:
+                return redirect
         name = op[0] if op else None
 
         if name == "set" and len(op) == 3:

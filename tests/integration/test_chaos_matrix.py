@@ -1,0 +1,194 @@
+"""Chaos matrix: crash/failover + live migration under seed x latency sweeps.
+
+This module is the workload behind the CI ``chaos-matrix`` job (nightly
+``schedule:`` and the ``chaos`` PR label): every cell of the matrix runs
+it with a different ``CHAOS_SEED`` and ``CHAOS_LATENCY`` so the same
+scenarios are exercised across many timings::
+
+    CHAOS_SEED=3 CHAOS_LATENCY=jitter \
+        python -m pytest tests/integration/test_chaos_matrix.py -q
+
+Environment knobs (all optional -- the defaults make this an ordinary
+member of the tier-1 suite):
+
+``CHAOS_SEED``
+    Base seed for every scenario in the module (default 0).
+``CHAOS_LATENCY``
+    Latency profile: ``constant`` (the paper's one-hop unit),
+    ``jitter`` (uniform 0.5-1.5) or ``tail`` (truncated normal with a
+    fat-ish deviation) -- reordering across links is where optimistic
+    delivery earns its undo machinery.
+``CHAOS_ARTIFACT_DIR``
+    Where to drop a failing run's trace digest + scenario description
+    (default ``chaos-artifacts``); the CI job uploads this directory so
+    a red matrix cell is reproducible from the artifact alone.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.sharding import (
+    ShardedScenarioConfig,
+    attach_rebalancer,
+    run_sharded_scenario,
+)
+from repro.sim.latency import ConstantLatency, NormalLatency, UniformLatency
+
+pytestmark = pytest.mark.integration
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+LATENCY = os.environ.get("CHAOS_LATENCY", "constant")
+ARTIFACT_DIR = os.environ.get("CHAOS_ARTIFACT_DIR", "chaos-artifacts")
+
+LATENCY_PROFILES = ("constant", "jitter", "tail")
+
+
+def make_latency():
+    if LATENCY == "constant":
+        return ConstantLatency(1.0)
+    if LATENCY == "jitter":
+        return UniformLatency(0.5, 1.5)
+    if LATENCY == "tail":
+        return NormalLatency(mean=1.0, stddev=0.4, minimum=0.05)
+    raise ValueError(
+        f"unknown CHAOS_LATENCY {LATENCY!r} (choose from {LATENCY_PROFILES})"
+    )
+
+
+def run_with_artifact(name, config, extra_checks=None):
+    """Run + check a scenario; on failure, dump a reproducible artifact.
+
+    The artifact (scenario name, seed, latency profile, full config and
+    the run's trace digest) is everything needed to replay a red matrix
+    cell locally.
+    """
+    run = run_sharded_scenario(config)
+    try:
+        assert run.all_done(), "chaos run did not reach quiescence"
+        run.check_all(strict=False)
+        if extra_checks is not None:
+            extra_checks(run)
+    except BaseException as failure:
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        path = os.path.join(ARTIFACT_DIR, f"{name}-s{SEED}-{LATENCY}.txt")
+        with open(path, "w") as handle:
+            handle.write(f"scenario: {name}\n")
+            handle.write(f"seed: {SEED}\nlatency: {LATENCY}\n")
+            handle.write(f"config: {config!r}\n")
+            handle.write(f"failure: {failure}\n")
+            handle.write(f"trace digest: {run.trace.digest()}\n")
+            handle.write(f"events: {len(run.trace)}\n")
+        raise
+    return run
+
+
+class TestChaosMatrix:
+    def test_sequencer_crash_failover_cross_shard(self):
+        # B10c shape, re-seeded: shard 0's epoch-0 sequencer dies while
+        # cross-shard transfers are in flight.
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=10,
+            machine="bank",
+            workload="cross",
+            cross_ratio=0.5,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            fault_schedule=FaultSchedule().crash(10.0 + (SEED % 3), "s0.p1"),
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED,
+        )
+        run_with_artifact("crash-failover", config)
+
+    def test_migration_during_server_crash(self):
+        # A replica (non-sequencer) dies while keys are being migrated:
+        # migration adoption still needs only a majority per group.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+
+            def kick():
+                n = run.config.n_shards
+                for key in run.key_universe[:2]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            run.sim.schedule_at(15.0, kick)
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=15,
+            machine="kv",
+            workload="zipf",
+            zipf_s=1.4,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            fault_schedule=FaultSchedule().crash(18.0, "s1.p2"),
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 100,
+        )
+        def extra(run):
+            coordinator = run.rebalancers[0]
+            assert coordinator.done
+            assert coordinator.moves_committed + coordinator.moves_aborted == 2
+
+        run_with_artifact("migration-server-crash", config, extra)
+
+    def test_coordinator_crash_with_recovery(self):
+        # The coordinator itself dies mid-move; a recovery coordinator
+        # adopts the journal and heals the cluster.
+        def arm(run):
+            coordinator = attach_rebalancer(run)
+            key = run.key_universe[0]
+            src = run.routing_table.shard_of(key)
+            dst = (src + 1) % run.config.n_shards
+            run.sim.schedule_at(20.0, lambda: coordinator.migrate(key, dst))
+            run.sim.schedule_at(
+                # Jittered latencies move the adoption instant around;
+                # seed-dependent crash times sample the whole window
+                # (pre-prepare, stranded, and post-install crashes).
+                21.0 + (SEED % 5),
+                lambda: run.network.crash(coordinator.client.pid),
+            )
+
+            def recover():
+                recovery = attach_rebalancer(run, pid="rb2")
+                recovery.resume(coordinator.journal)
+
+            run.sim.schedule_at(90.0, recover)
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=15,
+            machine="bank",
+            workload="cross",
+            cross_ratio=0.0,
+            latency=make_latency(),
+            retry_interval=40.0,
+            arm=arm,
+            grace=200.0,
+            horizon=50_000.0,
+            seed=SEED + 200,
+        )
+        def extra(run):
+            recovery = run.rebalancers[1]
+            assert recovery.done
+            # Whatever the crash timing, recovery leaves nothing stranded.
+            for record in recovery.journal:
+                assert record.terminal, record
+
+        run_with_artifact("coordinator-crash", config, extra)

@@ -1,0 +1,372 @@
+"""Integration: live shard rebalancing (repro.sharding.rebalance).
+
+Online key migration between OAR groups must preserve every per-shard
+paper property, cross-shard 2PC atomicity, and the migration invariants
+(single owner per key, nothing lost or duplicated, conservation) -- with
+traffic in flight, with stale client routing tables, and across a
+coordinator crash followed by recovery.
+"""
+
+import pytest
+
+from repro.analysis import checkers
+from repro.sharding import (
+    ShardedScenarioConfig,
+    attach_rebalancer,
+    run_sharded_scenario,
+)
+
+pytestmark = pytest.mark.integration
+
+
+def _arm_single_move(run, start_at=30.0, key_index=0):
+    """Attach a coordinator that migrates one key at ``start_at``."""
+    coordinator = attach_rebalancer(run)
+    key = run.key_universe[key_index]
+    src = run.routing_table.shard_of(key)
+    dst = (src + 1) % run.config.n_shards
+    run.sim.schedule_at(start_at, lambda: coordinator.migrate(key, dst))
+    return coordinator
+
+
+class TestSingleMigration:
+    def test_key_moves_and_clients_redirect(self):
+        state = {}
+
+        def arm(run):
+            state["coordinator"] = _arm_single_move(run)
+            state["key"] = run.key_universe[0]
+            state["src"] = run.routing_table.shard_of(state["key"])
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=30,
+                machine="kv",
+                workload="zipf",
+                zipf_s=1.5,  # key 0 is hot, so traffic hits the move
+                seed=5,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        coordinator = state["coordinator"]
+        assert coordinator.done
+        record = coordinator.journal[0]
+        assert record.phase == "done"
+        # Routing epoch bumped; authority routes the key to its new home.
+        assert run.routing_table.epoch == 1
+        dst = run.routing_table.shard_of(state["key"])
+        assert dst != state["src"]
+        # The destination replicas own the key now, the source's don't.
+        for server in run.correct_servers(dst):
+            assert server.machine.owns(state["key"])
+        for server in run.correct_servers(state["src"]):
+            assert not server.machine.owns(state["key"])
+        # Some client hit the stale route and was redirected.
+        assert sum(client.redirects for client in run.clients) > 0
+        # Redirect retries are not new demand: the planner's load
+        # statistic must count each logical operation exactly once.
+        total_load = sum(
+            count
+            for client in run.clients
+            for count in client.key_load.values()
+        )
+        assert total_load == run.config.n_clients * run.config.requests_per_client
+        run.check_all()
+
+    def test_value_survives_the_move(self):
+        # A key written before the migration must read back identically
+        # after it, from the new shard.
+        def arm(run):
+            _arm_single_move(run, start_at=40.0)
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=1,
+                requests_per_client=40,
+                machine="kv",
+                workload="zipf",
+                zipf_s=1.8,
+                seed=9,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        run.check_all()
+        key = run.key_universe[0]
+        dst = run.routing_table.shard_of(key)
+        values = {
+            server.machine.state().get(key)
+            for server in run.correct_servers(dst)
+        }
+        assert len(values) == 1  # replicas agree on the migrated value
+
+    def test_rebalance_plans_off_the_hot_shard(self):
+        # Range router + Zipf: the hot keys are contiguous on shard 0,
+        # so the planner must move load off shard 0.
+        state = {}
+
+        def arm(run):
+            coordinator = attach_rebalancer(run, start_at=80.0, max_moves=4)
+            state["coordinator"] = coordinator
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=4,
+                n_clients=4,
+                requests_per_client=40,
+                machine="kv",
+                workload="zipf",
+                zipf_s=1.5,
+                router="range",
+                n_keys=32,
+                seed=2,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        coordinator = state["coordinator"]
+        assert coordinator.done
+        assert coordinator.moves_committed > 0
+        hot_keys = [record.key for record in coordinator.journal]
+        # The hottest (lowest-index) keys are the ones worth moving, and
+        # the first move comes off the hot shard (later moves may trim
+        # whichever shard the greedy plan finds hottest next).
+        assert run.key_universe[0] in hot_keys
+        assert coordinator.journal[0].src == 0
+        run.check_all()
+
+
+class TestMigrationVsCrossShard2PC:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_interleaved_migrations_and_transfers(self, seed):
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=5.0)
+
+            def kick():
+                n = run.config.n_shards
+                for key in run.key_universe[:3]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            run.sim.schedule_at(20.0 + 7 * seed, kick)
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=25,
+                machine="bank",
+                workload="cross",
+                cross_ratio=0.5,
+                seed=seed,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        assert sum(client.cross_shard_committed for client in run.clients) > 0
+        run.check_all()  # per-shard + 2PC + migration atomicity/conservation
+
+
+class TestCoordinatorCrash:
+    def test_crash_mid_migration_then_recovery(self):
+        # Crash the coordinator right after it submits mig_prepare and
+        # before the install can land: the key's state is stranded in
+        # the source shard's outbound escrow (owned by nobody), clients
+        # spin on redirects, and a recovery coordinator adopting the
+        # journal completes the move.
+        state = {}
+
+        def arm(run):
+            coordinator = attach_rebalancer(run)
+            state["coordinator"] = coordinator
+            key = run.key_universe[0]
+            state["key"] = key
+            src = run.routing_table.shard_of(key)
+            state["src"] = src
+            dst = (src + 1) % run.config.n_shards
+            run.sim.schedule_at(30.0, lambda: coordinator.migrate(key, dst))
+            # The prepare is opt-delivered at the source replicas by
+            # t=32 (one hop to the group, one to order), but the
+            # coordinator only adopts at t=33 -- crash inside that
+            # window, before the install can even be submitted.
+            run.sim.schedule_at(
+                32.5, lambda: run.network.crash(coordinator.client.pid)
+            )
+
+            def snapshot_stranded():
+                # Mid-crash invariant: nobody owns the key, the source
+                # escrow holds its state (checker's non-quiescent mode).
+                checkers.check_migration_atomicity(
+                    run.trace,
+                    run.shards,
+                    run.routing_table,
+                    run.key_universe,
+                    expected_total=run.initial_total,
+                    quiescent=False,
+                )
+                owners = [
+                    shard
+                    for shard in range(run.config.n_shards)
+                    if run.correct_servers(shard)
+                    and run.correct_servers(shard)[0].machine.owns(key)
+                ]
+                state["stranded_owners"] = owners
+                state["stranded_escrow"] = run.correct_servers(src)[
+                    0
+                ].machine.outbound_migrations()
+
+            run.sim.schedule_at(60.0, snapshot_stranded)
+
+            def recover():
+                recovery = attach_rebalancer(run, pid="rb2")
+                recovery.resume(coordinator.journal)
+                state["recovery"] = recovery
+
+            run.sim.schedule_at(80.0, recover)
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=30,
+                machine="bank",
+                # Same-shard transfers only: a cross-shard escrow hold on
+                # the account would (correctly) veto the export and the
+                # crash would hit before any state was stranded -- the
+                # interleaving case has its own test above.
+                workload="cross",
+                cross_ratio=0.0,
+                seed=11,
+                arm=arm,
+                horizon=50_000.0,
+                grace=100.0,
+            )
+        )
+        assert run.all_done()
+        # The crash really hit mid-migration: the key was ownerless and
+        # escrowed when we looked.
+        assert state["stranded_owners"] == []
+        assert len(state["stranded_escrow"]) == 1
+        # Recovery finished the move and bumped the epoch.
+        recovery = state["recovery"]
+        assert recovery.done
+        assert recovery.journal[-1].phase == "done"
+        assert run.routing_table.epoch >= 1
+        dst = run.routing_table.shard_of(state["key"])
+        assert dst != state["src"]
+        run.check_all(strict=False)
+
+    def test_check_all_tolerates_stranded_migration_without_recovery(self):
+        # A coordinator crash with no recovery leaves the migration
+        # stranded forever.  That is incomplete, not non-atomic:
+        # check_all must fall back to safety-only migration checks
+        # instead of raising "migrations never completed".
+        def arm(run):
+            coordinator = attach_rebalancer(run)
+            key = run.key_universe[5]  # a cold key: no escrow interference
+            src = run.routing_table.shard_of(key)
+            dst = (src + 1) % run.config.n_shards
+            run.sim.schedule_at(30.0, lambda: coordinator.migrate(key, dst))
+            run.sim.schedule_at(
+                32.5, lambda: run.network.crash(coordinator.client.pid)
+            )
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=10,
+                machine="kv",
+                workload="uniform",
+                seed=8,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()  # crashed coordinators do not block quiescence
+        coordinator = run.rebalancers[0]
+        assert any(not record.terminal for record in coordinator.journal)
+        run.check_all()  # safety holds; completeness is correctly waived
+
+    def test_duplicate_prepare_reprobes_status_instead_of_aborting(self):
+        # Recovery race: a restarted migration's prepare can lose to the
+        # crashed coordinator's still-in-flight original prepare and be
+        # rejected with "already prepared".  That rejection is proof the
+        # state *is* escrowed -- the coordinator must re-probe status
+        # and continue the install, never abort (which would strand the
+        # key ownerless forever).
+        from repro.sharding.cluster import build_sharded_scenario
+
+        run = build_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2, n_clients=1, requests_per_client=1, machine="kv", seed=1
+            )
+        )
+        coordinator = attach_rebalancer(run)
+        key = run.key_universe[0]
+        src = run.routing_table.shard_of(key)
+        dst = 1 - src
+        record = coordinator.migrate(key, dst)
+        run.sim.run(until=2.0)  # the real prepare is now in flight
+
+        # Simulate the duplicate rejection the race produces.
+        from repro.statemachine.base import OpResult
+
+        coordinator._on_prepare(
+            record,
+            OpResult(ok=False, error=f"mig_prepare: {record.mid} already prepared"),
+        )
+        assert record.phase != "aborted"
+        # A status probe went out; letting the run continue completes
+        # the migration normally from the escrowed state.
+        run.sim.run(until=run.sim.now + 100.0)
+        assert record.phase == "done"
+        assert run.routing_table.shard_of(key) == dst
+
+    def test_recovery_of_fully_completed_migration_is_noop(self):
+        # Resume a journal whose migration already finished: the status
+        # probes find unknown-at-source/installed-at-destination and the
+        # recovery must not double-install or double-bump the epoch.
+        state = {}
+
+        def arm(run):
+            coordinator = _arm_single_move(run, start_at=20.0)
+            state["coordinator"] = coordinator
+
+            def recover():
+                recovery = attach_rebalancer(run, pid="rb2")
+                # Pretend the first coordinator crashed post-completion
+                # but its journal was snapshotted mid-flight.
+                journal = [r for r in coordinator.journal]
+                for record in journal:
+                    record.phase = "installing"  # stale snapshot
+                recovery.resume(journal)
+                state["recovery"] = recovery
+
+            run.sim.schedule_at(120.0, recover)
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=30,
+                machine="kv",
+                workload="zipf",
+                zipf_s=1.5,
+                seed=6,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        assert state["recovery"].done
+        assert run.routing_table.epoch == 1  # bumped exactly once
+        run.check_all()

@@ -10,6 +10,7 @@ import pytest
 from repro.sharding import (
     HashShardRouter,
     RangeShardRouter,
+    RoutingTable,
     make_router,
 )
 
@@ -130,3 +131,56 @@ class TestMakeRouter:
             placement = router.placement(universe)
             flattened = [key for shard in placement for key in shard]
             assert sorted(flattened) == sorted(universe)
+
+
+class TestRoutingTable:
+    def test_epoch_zero_matches_base_router(self):
+        base = HashShardRouter(4)
+        table = RoutingTable(base)
+        assert table.epoch == 0
+        keys = [f"k{i}" for i in range(50)]
+        assert [table.shard_of(k) for k in keys] == [base.shard_of(k) for k in keys]
+        assert table.placement(keys) == base.placement(keys)
+
+    def test_move_bumps_epoch_and_overrides(self):
+        table = RoutingTable(HashShardRouter(4))
+        src = table.shard_of("hot")
+        dst = (src + 1) % 4
+        assert table.move("hot", dst) == 1
+        assert table.epoch == 1
+        assert table.shard_of("hot") == dst
+        # Other keys are untouched.
+        assert table.shard_of("cold") == HashShardRouter(4).shard_of("cold")
+
+    def test_move_rejects_out_of_range_destination(self):
+        table = RoutingTable(HashShardRouter(2))
+        with pytest.raises(ValueError):
+            table.move("k", 2)
+        with pytest.raises(ValueError):
+            table.move("k", -1)
+
+    def test_copy_is_independent_until_synced(self):
+        authority = RoutingTable(HashShardRouter(3))
+        stale = authority.copy()
+        src = authority.shard_of("k")
+        authority.move("k", (src + 1) % 3)
+        assert stale.shard_of("k") == src  # the copy did not move
+        assert stale.epoch == 0
+        assert stale.sync_from(authority) is True
+        assert stale.epoch == authority.epoch
+        assert stale.shard_of("k") == authority.shard_of("k")
+
+    def test_sync_is_noop_at_equal_epoch(self):
+        authority = RoutingTable(HashShardRouter(3))
+        copy = authority.copy()
+        assert copy.sync_from(authority) is False
+
+    def test_moves_accumulate_across_syncs(self):
+        authority = RoutingTable(HashShardRouter(2))
+        copy = authority.copy()
+        authority.move("a", 1 - authority.shard_of("a"))
+        copy.sync_from(authority)
+        authority.move("b", 1 - authority.shard_of("b"))
+        copy.sync_from(authority)
+        assert copy.overrides == authority.overrides
+        assert copy.epoch == 2

@@ -8,6 +8,7 @@ from repro.statemachine import (
     KVStoreMachine,
     StackMachine,
     UndoLog,
+    WrongShard,
 )
 
 pytestmark = pytest.mark.unit
@@ -287,3 +288,136 @@ class TestDeterminism:
         results2 = [m2.apply(op) for op in ops]
         assert results1 == results2
         assert m1.fingerprint() == m2.fingerprint()
+
+
+class TestKVMigration:
+    """Key ownership + the mig_* family on the KV machine."""
+
+    def test_unsharded_machine_owns_everything(self):
+        m = KVStoreMachine()
+        assert m.owns("anything")
+        assert m.owned_keys() is None
+        assert m.apply(("set", "anything", 1)).ok
+        # And migration ops refuse deterministically (unsharded machines
+        # skip the migration dispatch entirely, so this is bad_op).
+        assert not m.apply(("mig_prepare", "m1", "anything", 1)).ok
+
+    def test_wrong_shard_on_unowned_key(self):
+        m = KVStoreMachine(owned=["a"])
+        result = m.apply(("set", "b", 1))
+        assert not result.ok
+        assert isinstance(result.value, WrongShard)
+        assert result.value.key == "b"
+        assert result.value.hint is None  # never exported from here
+
+    def test_prepare_freezes_and_redirects_with_hint(self):
+        m = KVStoreMachine(owned=["a", "b"])
+        m.apply(("set", "a", 41))
+        result = m.apply(("mig_prepare", "m1", "a", 3))
+        assert result.ok and result.value == ("exported", ("present", 41))
+        assert not m.owns("a")
+        redirect = m.apply(("get", "a"))
+        assert isinstance(redirect.value, WrongShard)
+        assert redirect.value.hint == 3
+        assert m.outbound_migrations() == {"m1": ("a", 3, ("present", 41))}
+
+    def test_full_migration_cycle_between_machines(self):
+        src = KVStoreMachine(owned=["a", "b"])
+        dst = KVStoreMachine(owned=["c"])
+        src.apply(("set", "a", 42))
+        state = src.apply(("mig_prepare", "m1", "a", 1)).value[1]
+        assert dst.apply(("mig_install", "m1", "a", state)).ok
+        assert dst.owns("a")
+        assert dst.apply(("get", "a")).value == 42
+        assert src.apply(("mig_status", "m1")).value[0] == "prepared"
+        assert dst.apply(("mig_status", "m1")).value == ("installed", "a")
+        assert src.apply(("mig_forget", "m1")).value == ("forgotten",)
+        assert src.apply(("mig_status", "m1")).value == ("unknown",)
+        assert src.outbound_migrations() == {}
+
+    def test_install_is_idempotent_by_mid(self):
+        dst = KVStoreMachine(owned=[])
+        state = ("present", 7)
+        assert dst.apply(("mig_install", "m1", "a", state)).value == ("installed",)
+        assert dst.apply(("mig_install", "m1", "a", state)).value == ("already",)
+        assert dst.apply(("get", "a")).value == 7
+
+    def test_forget_unknown_mid_is_noop(self):
+        m = KVStoreMachine(owned=["a"])
+        assert m.apply(("mig_forget", "nope")).value == ("noop",)
+
+    def test_prepare_of_never_set_key_exports_absent(self):
+        src = KVStoreMachine(owned=["a"])
+        dst = KVStoreMachine(owned=[])
+        state = src.apply(("mig_prepare", "m1", "a", 1)).value[1]
+        assert state == ("absent",)
+        assert dst.apply(("mig_install", "m1", "a", state)).ok
+        assert dst.owns("a")
+        assert not dst.apply(("get", "a")).ok  # still never set
+
+    def test_prepare_undo_restores_ownership_and_state(self):
+        m = KVStoreMachine(owned=["a"])
+        m.apply(("set", "a", 5))
+        before = m.fingerprint()
+        _result, undo = m.apply_with_undo(("mig_prepare", "m1", "a", 2))
+        undo()
+        assert m.fingerprint() == before
+        assert m.apply(("get", "a")).value == 5
+
+    def test_install_undo_removes_key(self):
+        m = KVStoreMachine(owned=[])
+        before = m.fingerprint()
+        _result, undo = m.apply_with_undo(("mig_install", "m1", "a", ("present", 9)))
+        undo()
+        assert m.fingerprint() == before
+        assert not m.owns("a")
+
+    def test_ownership_in_fingerprint(self):
+        # Replicas that disagree only on ownership must not fingerprint
+        # equal: the convergence checker has to see the divergence.
+        m1 = KVStoreMachine(owned=["a"])
+        m2 = KVStoreMachine(owned=["a", "b"])
+        assert m1.fingerprint() != m2.fingerprint()
+
+
+class TestBankMigration:
+    def test_export_blocked_by_escrow_hold(self):
+        m = BankMachine({"x": 100}, owned=["x"])
+        m.apply(("tx_prepare", "t1", "debit", "x", 30))
+        result = m.apply(("mig_prepare", "m1", "x", 1))
+        assert not result.ok and "escrow hold" in result.error
+        m.apply(("tx_commit", "t1"))
+        assert m.apply(("mig_prepare", "m1", "x", 1)).ok
+
+    def test_exported_balance_stays_in_conserved_total(self):
+        m = BankMachine({"x": 100, "y": 50}, owned=["x", "y"])
+        assert m.conserved_total() == 150
+        m.apply(("mig_prepare", "m1", "x", 1))
+        assert m.total_balance() == 50
+        assert m.migrating_total() == 100
+        assert m.conserved_total() == 150
+        m.apply(("mig_forget", "m1"))
+        assert m.conserved_total() == 50  # the money left this shard
+
+    def test_migration_cycle_conserves_money_across_machines(self):
+        src = BankMachine({"x": 100}, owned=["x"])
+        dst = BankMachine({"y": 10}, owned=["y"])
+        state = src.apply(("mig_prepare", "m1", "x", 1)).value[1]
+        assert state == 100
+        dst.apply(("mig_install", "m1", "x", state))
+        src.apply(("mig_forget", "m1"))
+        assert src.conserved_total() + dst.conserved_total() == 110
+        assert dst.apply(("balance", "x")).value == 100
+
+    def test_ops_on_departed_account_redirect(self):
+        m = BankMachine({"x": 100, "y": 5}, owned=["x", "y"])
+        m.apply(("mig_prepare", "m1", "x", 2))
+        for op in (
+            ("balance", "x"),
+            ("withdraw", "x", 1),
+            ("transfer", "x", "y", 1),
+            ("tx_prepare", "t9", "debit", "x", 1),
+        ):
+            result = m.apply(op)
+            assert isinstance(result.value, WrongShard), op
+            assert result.value.hint == 2
