@@ -2,9 +2,28 @@
 
 Every module here regenerates one experiment from DESIGN.md's index
 (figure-exact scenarios F1a-F4, quantitative claims B1-B8).  Reports are
-written to ``benchmarks/results/`` and the *shape* of each result (who
-wins, by what factor, what is zero) is asserted -- absolute numbers are
-simulator-scale, not the authors' testbed.
+written to ``benchmarks/results/local/`` (git-ignored) by default and the
+*shape* of each result (who wins, by what factor, what is zero) is
+asserted -- absolute numbers are simulator-scale, not the authors'
+testbed.  Pass ``--update-results`` to refresh the *tracked* reports
+under ``benchmarks/results/`` (the numbers that land in git).
 """
 
-import pytest
+import os
+
+import pytest  # noqa: F401  (fixtures/plugins hook through this module)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-results",
+        action="store_true",
+        default=False,
+        help="write benchmark reports to the tracked benchmarks/results/ "
+        "directory instead of the git-ignored local scratch dir",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--update-results"):
+        os.environ["REPRO_UPDATE_RESULTS"] = "1"

@@ -201,6 +201,38 @@ def b5_scenario(requests_per_client: int) -> float:
     return elapsed
 
 
+def read_path_scenario(total_reads: int) -> float:
+    """Reads/sec through the replica-local read path (optimistic mode).
+
+    Two closed-loop clients issue a pure-get Zipf stream against one
+    3-replica group with tracing off: every request takes the
+    sequencer-free path (round-robin replica, one hop each way), so this
+    measures the read fast lane end to end -- classification, routing,
+    the replica's serve-and-reply, and client adoption.
+    """
+    start = time.perf_counter()
+    run = run_scenario(
+        ScenarioConfig(
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=total_reads // 2,
+            machine="kv",
+            read_mode="optimistic",
+            read_ratio=1.0,
+            driver="closed",
+            grace=50.0,
+            horizon=10_000_000.0,
+            seed=0,
+            trace_level="off",
+        )
+    )
+    elapsed = time.perf_counter() - start
+    assert run.all_done()
+    served = sum(client.reads_adopted for client in run.clients)
+    assert served == 2 * (total_reads // 2)
+    return served / elapsed
+
+
 def b10_scenario(requests_per_client: int) -> float:
     """Wall-clock seconds for the B10 shape (4-shard overload, order_cost)."""
     start = time.perf_counter()
@@ -286,6 +318,13 @@ BENCHES: List[Bench] = [
         lambda quick: network_pingpong(30_000 if quick else 100_000),
     ),
     Bench(
+        "read_ops_per_sec",
+        "replica-local read path (optimistic)",
+        "reads/s",
+        True,
+        lambda quick: read_path_scenario(3_000 if quick else 10_000),
+    ),
+    Bench(
         "b5_wallclock_sec",
         "B5 scenario (1 group, open loop, trace off)",
         "s",
@@ -326,7 +365,9 @@ def run_suite(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, A
     for bench in BENCHES:
         if quick and bench.key not in RATE_KEYS:
             continue  # quick wall-clocks use smaller workloads
-        base = PRE_PR_BASELINE[bench.key]
+        base = PRE_PR_BASELINE.get(bench.key)
+        if base is None:
+            continue  # benchmark measures a path that did not exist pre-PR
         current = results[bench.key]
         ratio = current / base if bench.higher_is_better else base / current
         speedups[bench.key] = round(ratio, 2)
@@ -358,13 +399,14 @@ def format_table(payload: Dict[str, Any]) -> str:
     ]
     speedups = payload["speedup_vs_pre_pr"]
     for bench in BENCHES:
-        base = PRE_PR_BASELINE[bench.key]
+        base = PRE_PR_BASELINE.get(bench.key)
         current = payload["results"][bench.key]
         ratio = speedups.get(bench.key)
         ratio_text = f"{ratio:.2f}x" if ratio is not None else "n/a"
         precision = 1 if bench.higher_is_better else 4
+        base_text = f"{base:>12,.{precision}f}" if base is not None else f"{'(new)':>12}"
         lines.append(
-            f"{bench.label:<44} {base:>12,.{precision}f} {current:>14,.{precision}f} "
+            f"{bench.label:<44} {base_text} {current:>14,.{precision}f} "
             f"{ratio_text:>9}  ({bench.unit})"
         )
     lines.append("")

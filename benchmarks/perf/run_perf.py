@@ -48,6 +48,12 @@ from benchmarks.perf.harness import (  # noqa: E402
 #: baseline fails the CI gate.
 REGRESSION_TOLERANCE = 0.30
 
+#: Tolerance for the replica-local read-path gate.  Like the B10 gate it
+#: compares kernel-normalized work (read rate / kernel rate) so a slow
+#: CI box cancels out; only the read fast lane getting slower relative
+#: to the kernel trips it.
+READ_TOLERANCE = 0.50
+
 #: Tolerance for the B10 sharded wall-clock gate.  Wall-clocks carry
 #: cross-process systematic skew the rate micros do not (CPython's
 #: adaptive specialization warms differently depending on what ran
@@ -103,6 +109,30 @@ def check_against(payload: dict, committed_path: str) -> int:
             )
     else:
         notes.append("b10 gate skipped (no same-shape reference committed)")
+
+    # Replica-local read path, normalized the same way.  Rates are
+    # cross-mode comparable, so the committed full-mode figure is the
+    # reference for quick runs too.
+    committed_read = committed.get("results", {}).get("read_ops_per_sec")
+    committed_kernel = committed.get("results", {}).get("kernel_events_per_sec")
+    if committed_read and committed_kernel:
+        measured_ratio = payload["results"]["read_ops_per_sec"] / measured
+        reference_ratio = committed_read / committed_kernel
+        floor_ratio = reference_ratio * (1.0 - READ_TOLERANCE)
+        if measured_ratio < floor_ratio:
+            failures.append(
+                f"read path regressed: {measured_ratio:.6f} reads per kernel "
+                f"event is below {floor_ratio:.6f} "
+                f"({100 * (1 - READ_TOLERANCE):.0f}% of the committed "
+                f"{reference_ratio:.6f})"
+            )
+        else:
+            notes.append(
+                f"read path {measured_ratio:.6f} >= {floor_ratio:.6f} "
+                f"reads/kernel-event"
+            )
+    else:
+        notes.append("read gate skipped (no committed read_ops_per_sec)")
 
     expected_digest = committed.get("golden_digest", GOLDEN_DIGEST)
     if payload["golden_digest"] != expected_digest:

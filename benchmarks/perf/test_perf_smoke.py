@@ -21,8 +21,12 @@ def test_suite_runs_quick_and_payload_is_complete(tmp_path):
         assert payload["results"][bench.key] > 0
     assert payload["mode"] == "quick"
     # Rate-style micros are compared against the pre-PR baseline even in
-    # quick mode; quick wall-clocks are not (different workload sizes).
-    assert set(payload["speedup_vs_pre_pr"]) == set(harness.RATE_KEYS)
+    # quick mode; quick wall-clocks are not (different workload sizes),
+    # and benchmarks of paths that did not exist pre-PR (the read path)
+    # have no baseline to compare against.
+    assert set(payload["speedup_vs_pre_pr"]) == {
+        key for key in harness.RATE_KEYS if key in harness.PRE_PR_BASELINE
+    }
     # The payload is JSON-serializable and round-trips.
     out = tmp_path / "perf.json"
     harness.write_payload(payload, str(out))

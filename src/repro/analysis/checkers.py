@@ -707,6 +707,102 @@ def check_migration_atomicity(
 
 
 # ----------------------------------------------------------------------
+# Replica-local reads (OARConfig.read_mode)
+# ----------------------------------------------------------------------
+
+def check_read_consistency(
+    trace: TraceLog,
+    servers: Sequence[Any],
+    machine_factory: Any,
+    shard: Optional[int] = None,
+) -> Dict[str, int]:
+    """Replica-local reads observe prefix-closed states of the final order.
+
+    For every adopted read, the observed value must be producible by
+    executing the read operation against the state reached by *some*
+    prefix of the group's final delivered order (starting from the
+    shard's initial machine, rebuilt via ``machine_factory``).  That is
+    the prefix-closed-observation property: a read never sees a state no
+    prefix of the adopted history ever passed through.
+
+    * **Adopted-mode (conservative) reads** -- a violation raises
+      :class:`CheckFailure`: a majority-agreed read value must always be
+      anchored in the adopted order (undo consistency keeps doomed
+      optimistic suffixes at a minority of replicas, so they can never
+      win the vote).
+    * **Optimistic reads** -- a value with no anchoring prefix is a
+      *stale* read (the replica answered from an optimistic suffix that
+      was later undone); it is counted, not failed, so staleness is a
+      measurable quantity rather than a correctness bug.
+
+    ``shard`` filters read events in a sharded run (clients tag each
+    read with the shard it was routed to); ``None`` checks unsharded
+    runs.  Returns ``{"reads", "optimistic", "conservative",
+    "stale_optimistic"}`` counts.
+    """
+    reads = [
+        event
+        for event in trace.events(kind="read_adopt")
+        if event.get("shard") == shard
+    ]
+    stats = {
+        "reads": len(reads),
+        "optimistic": 0,
+        "conservative": 0,
+        "stale_optimistic": 0,
+    }
+    if not reads:
+        return stats
+
+    # The longest correct server's final order is the adopted history
+    # (total order makes every correct order a prefix of it).
+    alive = [server for server in servers if not server.crashed]
+    if not alive:
+        return stats  # nothing authoritative to anchor reads against
+    final_order = max(
+        (_server_order(server) for server in alive), key=len
+    )
+    op_of = {event["rid"]: event["op"] for event in trace.events(kind="submit")}
+
+    # Replay the adopted history once, probing every distinct read
+    # operation at every prefix (reads are side-effect free, so probing
+    # does not perturb the replay).
+    read_ops = {tuple(event["op"]) for event in reads}
+    machine = machine_factory()
+    # Results are keyed by repr: always hashable, and OpResult reprs
+    # distinguish ok/error/value exactly.
+    achievable: Dict[Tuple[Any, ...], Set[str]] = {
+        op: {repr(machine.apply(op))} for op in read_ops
+    }
+    for rid in final_order:
+        op = op_of.get(rid)
+        if op is None:
+            continue  # a rid submitted outside the traced window
+        machine.apply(tuple(op))
+        for read_op in read_ops:
+            achievable[read_op].add(repr(machine.apply(read_op)))
+
+    for event in reads:
+        op = tuple(event["op"])
+        mode = event["mode"]
+        value = event["value"]
+        anchored = repr(value) in achievable[op]
+        if mode == "conservative":
+            stats["conservative"] += 1
+            if not anchored:
+                raise CheckFailure(
+                    f"read consistency violated: conservative read "
+                    f"{event['rid']} of {op!r} adopted {value!r}, which no "
+                    f"prefix of the adopted order produces"
+                )
+        else:
+            stats["optimistic"] += 1
+            if not anchored:
+                stats["stale_optimistic"] += 1
+    return stats
+
+
+# ----------------------------------------------------------------------
 # Baseline anomaly scoring (Figure 1(b))
 # ----------------------------------------------------------------------
 

@@ -52,7 +52,9 @@ from typing import (
 )
 
 from repro.broadcast.reliable import ReliableMulticast
-from repro.core.messages import Reply, Request
+from repro.core.loadtrack import DecayingKeyLoad
+from repro.core.messages import ReadReply, ReadRequest, Reply, Request
+from repro.core.server import READ_MODES
 from repro.sim.component import ComponentProcess
 from repro.statemachine.base import OpResult, WrongShard
 
@@ -119,6 +121,55 @@ class _PendingRequest:
         return len(self.group) // 2 + 1
 
 
+class _PendingRead:
+    """Reply bookkeeping for one in-flight replica-local read."""
+
+    __slots__ = (
+        "op",
+        "group",
+        "shard",
+        "mode",
+        "submit_time",
+        "replies",
+        "target_index",
+        "retries",
+        "round",
+        "timer",
+    )
+
+    def __init__(
+        self,
+        op: Tuple[Any, ...],
+        group: Tuple[str, ...],
+        shard: Optional[int],
+        mode: str,
+        submit_time: float,
+        target_index: int,
+    ) -> None:
+        self.op = op
+        self.group = group
+        self.shard = shard
+        self.mode = mode
+        self.submit_time = submit_time
+        self.target_index = target_index
+        #: server pid -> its latest ReadReply *of the current round*.
+        #: Every retransmit/re-poll bumps ``round`` and clears this, and
+        #: conservative mode drops replies tagged with a stale round, so
+        #: a quorum only ever forms among same-round replies -- mixing
+        #: rounds could assemble a majority no single instant ever held.
+        self.replies: Dict[str, ReadReply] = {}
+        self.retries = 0
+        self.round = 0
+        #: Live retransmit TimerHandle; cancelled on adoption so the
+        #: common case (read answered promptly) leaves no dead timer in
+        #: the event queue -- this sits on the measured read hot path.
+        self.timer: Any = None
+
+    @property
+    def majority(self) -> int:
+        return len(self.group) // 2 + 1
+
+
 class OARClient(ComponentProcess):
     """A client process c issuing requests to the replicated service.
 
@@ -133,6 +184,21 @@ class OARClient(ComponentProcess):
     on_adopt:
         Optional callback ``(AdoptedReply) -> None`` fired on adoption;
         closed-loop workload drivers use it to submit the next request.
+    read_mode / is_read_only:
+        The replica-local read path.  With ``read_mode="sequencer"``
+        (the default, the paper's base protocol) every operation is
+        ordered.  With ``"optimistic"`` or ``"conservative"``,
+        operations the ``is_read_only`` classifier approves bypass the
+        sequencer entirely: the client sends a :class:`ReadRequest`
+        point-to-point -- to one replica chosen round-robin
+        (optimistic: first reply wins, scales with replica count) or to
+        the whole group (conservative: adopt once a majority return the
+        same value).  ``is_read_only`` is usually the state machine's
+        :meth:`~repro.statemachine.base.StateMachine.is_read_only`.
+    read_retry_delay:
+        Pause before a conservative read that collected every replica's
+        answer without finding a matching majority is re-polled (the
+        replicas observed different prefixes; they converge).
     """
 
     def __init__(
@@ -141,8 +207,13 @@ class OARClient(ComponentProcess):
         servers: Sequence[str],
         on_adopt: Optional[Callable[[AdoptedReply], None]] = None,
         retry_interval: Optional[float] = None,
+        read_mode: str = "sequencer",
+        is_read_only: Optional[Callable[[Tuple[Any, ...]], bool]] = None,
+        read_retry_delay: float = 5.0,
     ) -> None:
         super().__init__(pid)
+        if read_mode not in READ_MODES:
+            raise ValueError(f"read_mode {read_mode!r} not in {READ_MODES}")
         self.servers: Tuple[str, ...] = tuple(servers)
         self.on_adopt = on_adopt
         #: When set, a request still unadopted after this much time is
@@ -150,13 +221,27 @@ class OARClient(ComponentProcess):
         #: they re-send the cached reply).  Covers the lost-reply case:
         #: replies travel on plain channels and die with a crashing
         #: server, unlike requests, which the R-multicast relays protect.
+        #: Reads use the same knob: an unanswered read is re-sent (to the
+        #: next replica in optimistic mode -- the target may be dead).
         self.retry_interval = retry_interval
         self.retransmissions = 0
+        self.read_mode = read_mode
+        self.is_read_only = is_read_only
+        self.read_retry_delay = read_retry_delay
         self.rmc = self.add_component(ReliableMulticast(self, self._unexpected_rdeliver))
         self._counter = itertools.count()
         self._pending: Dict[str, _PendingRequest] = {}
         self.adopted: Dict[str, AdoptedReply] = {}
         self.late_replies = 0
+        # Replica-local reads in flight, in their own rid namespace
+        # (<pid>-r<n>): read ids must never collide with ordered request
+        # ids, and checkers exclude them from delivery-based properties.
+        self._read_counter = itertools.count()
+        self._reads: Dict[str, _PendingRead] = {}
+        self._read_rr = 0  # round-robin cursor for optimistic targets
+        self.read_rids: Set[str] = set()
+        self.reads_adopted = 0
+        self.read_retransmissions = 0
 
     @property
     def majority_weight(self) -> int:
@@ -165,8 +250,8 @@ class OARClient(ComponentProcess):
 
     @property
     def outstanding(self) -> int:
-        """Requests submitted but not yet adopted."""
-        return len(self._pending)
+        """Requests submitted but not yet adopted (reads included)."""
+        return len(self._pending) + len(self._reads)
 
     # ------------------------------------------------------------------
 
@@ -179,7 +264,15 @@ class OARClient(ComponentProcess):
         sharded client routes each request to its key's group).  Returns
         the request id; the adopted reply appears in :attr:`adopted` (and
         via the ``on_adopt`` callback).
+
+        Read-only operations take the replica-local read path when
+        :attr:`read_mode` enables it -- but only on the default-routed
+        path: an explicit ``servers`` group means the caller chose the
+        target for ordering reasons (tx decision branches, migration
+        probes), which must stay totally ordered.
         """
+        if servers is None and self._wants_read_path(tuple(op)):
+            return self._submit_read(tuple(op), self.servers, None)
         group = self.servers if servers is None else tuple(servers)
         rid = f"{self.pid}-{next(self._counter)}"
         request = Request(rid=rid, client=self.pid, op=tuple(op))
@@ -208,6 +301,211 @@ class OARClient(ComponentProcess):
         """Handle server replies (everything else is component traffic)."""
         if isinstance(payload, Reply):
             self._on_reply(src, payload)
+        elif isinstance(payload, ReadReply):
+            self._on_read_reply(src, payload)
+
+    # ------------------------------------------------------------------
+    # Replica-local reads (OARConfig.read_mode)
+    # ------------------------------------------------------------------
+
+    def _wants_read_path(self, op: Tuple[Any, ...]) -> bool:
+        return (
+            self.read_mode != "sequencer"
+            and self.is_read_only is not None
+            and self.is_read_only(op)
+        )
+
+    def _submit_read(
+        self,
+        op: Tuple[Any, ...],
+        group: Tuple[str, ...],
+        shard: Optional[int],
+        submit_time: Optional[float] = None,
+    ) -> str:
+        """Send a read straight to replicas, bypassing the sequencer."""
+        rid = f"{self.pid}-r{next(self._read_counter)}"
+        target_index = self._read_rr
+        self._read_rr += 1
+        pending = _PendingRead(
+            op=op,
+            group=tuple(group),
+            shard=shard,
+            mode=self.read_mode,
+            submit_time=self.env.now if submit_time is None else submit_time,
+            target_index=target_index,
+        )
+        self._reads[rid] = pending
+        self.read_rids.add(rid)
+        self.env.trace(
+            "read_submit", rid=rid, op=op, mode=pending.mode, shard=shard
+        )
+        self._send_read(rid, pending)
+        pending.timer = self.env.set_timer(
+            self._read_retry_interval(0), lambda: self._maybe_retry_read(rid)
+        )
+        return rid
+
+    #: Liveness floor for unanswered reads when no ``retry_interval`` is
+    #: configured: lazy on purpose (~50 unit-latency round trips).  A
+    #: read is usually unanswered because it is *queued* at a loaded
+    #: replica, not because the replica died; an eager default would
+    #: retransmit queued reads into an ever-deeper queue (measured in
+    #: B12: a 10-unit base collapsed saturated conservative goodput
+    #: ~5x).  Crash-failover scenarios that care about recovery latency
+    #: set ``retry_interval`` explicitly, exactly as writes do.
+    DEFAULT_READ_RETRY_INTERVAL = 100.0
+
+    def _read_retry_interval(self, retries: int) -> float:
+        """Pacing of the unanswered-read retry timer (binary backoff).
+
+        Unlike writes (R-multicast both ways, relayed around crashes),
+        reads travel on plain point-to-point channels, so without a
+        retry a read targeting a crashed replica would hang forever --
+        the read path must not *lose* fault tolerance the ordered path
+        has without extra knobs.  ``retry_interval`` sets the base when
+        given (matching write retransmission); otherwise the lazy
+        default above keeps reads live out of the box.  The interval
+        doubles per attempt (retransmission storms cannot compound).
+        """
+        base = (
+            self.retry_interval
+            if self.retry_interval is not None
+            else self.DEFAULT_READ_RETRY_INTERVAL
+        )
+        return base * (2 ** retries)
+
+    def _send_read(self, rid: str, pending: _PendingRead) -> None:
+        request = ReadRequest(
+            rid=rid, client=self.pid, op=pending.op, round=pending.round
+        )
+        if pending.mode == "optimistic":
+            target = pending.group[pending.target_index % len(pending.group)]
+            self.env.send(target, request)
+        else:  # conservative: every replica answers
+            send = self.env.send
+            for member in pending.group:
+                send(member, request)
+
+    def _maybe_retry_read(self, rid: str) -> None:
+        """Unanswered read after the retry interval: re-poll.
+
+        Optimistic reads rotate to the next replica (the target may have
+        crashed); conservative reads re-poll the whole group under a
+        fresh round number, dropping the superseded round's replies.
+        """
+        pending = self._reads.get(rid)
+        if pending is None:
+            return  # adopted in the meantime
+        pending.retries += 1
+        self.read_retransmissions += 1
+        pending.target_index += 1
+        pending.round += 1
+        pending.replies.clear()
+        self.env.trace("read_retransmit", rid=rid, attempt=pending.retries)
+        self._send_read(rid, pending)
+        pending.timer = self.env.set_timer(
+            self._read_retry_interval(pending.retries),
+            lambda: self._maybe_retry_read(rid),
+        )
+
+    def _on_read_reply(self, src: str, reply: ReadReply) -> None:
+        pending = self._reads.get(reply.rid)
+        if pending is None:
+            self.late_replies += 1
+            return
+        if pending.mode == "optimistic":
+            # Any round's reply is a valid single-replica observation.
+            self._adopt_read(reply.rid, pending, reply, weight=(src,))
+            return
+        if reply.round != pending.round:
+            # A straggler from a superseded round: mixing it into the
+            # current round's vote could assemble a majority no single
+            # instant ever held.
+            self.late_replies += 1
+            return
+        pending.replies[src] = reply
+        # Conservative: adopt once a majority of replicas agree on the
+        # value.  Undo consistency makes this safe: a value derived from
+        # an optimistic suffix that can still be undone is observable at
+        # a minority of replicas only, so it can never win the vote.
+        by_value: Dict[str, List[Tuple[str, ReadReply]]] = {}
+        for pid, r in pending.replies.items():
+            by_value.setdefault(repr(r.value), []).append((pid, r))
+        for matching in by_value.values():
+            if len(matching) >= pending.majority:
+                matching.sort(key=lambda item: item[0])
+                weight = tuple(pid for pid, _r in matching)
+                # Report the freshest matching observation's position.
+                best = max(matching, key=lambda item: item[1].position)[1]
+                self._adopt_read(reply.rid, pending, best, weight=weight)
+                return
+        if len(pending.replies) >= len(pending.group):
+            # Everyone answered and no value has a majority: the
+            # replicas observed different prefixes.  They converge, so
+            # re-poll after a pause (same rid -- this is still the same
+            # logical read) under a fresh round number.
+            pending.round += 1
+            pending.replies.clear()
+            pending.retries += 1
+            self.env.trace(
+                "read_repoll", rid=reply.rid, attempt=pending.retries
+            )
+            self.env.set_timer(
+                self.read_retry_delay,
+                lambda: self._repoll_read(reply.rid),
+            )
+
+    def _repoll_read(self, rid: str) -> None:
+        pending = self._reads.get(rid)
+        if pending is None:
+            return
+        self._send_read(rid, pending)
+
+    def _adopt_read(
+        self,
+        rid: str,
+        pending: _PendingRead,
+        reply: ReadReply,
+        weight: Tuple[str, ...],
+    ) -> None:
+        del self._reads[rid]
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if self._read_redirect(rid, pending, reply):
+            return  # WrongShard: retried under a fresh rid, not surfaced
+        adopted = AdoptedReply(
+            rid=rid,
+            value=reply.value,
+            position=reply.position,
+            epoch=reply.epoch,
+            weight=weight,
+            conservative=pending.mode == "conservative",
+            submit_time=pending.submit_time,
+            adopt_time=self.env.now,
+        )
+        self.reads_adopted += 1
+        self.env.trace(
+            "read_adopt",
+            rid=rid,
+            op=pending.op,
+            mode=pending.mode,
+            value=reply.value,
+            position=reply.position,
+            settled=reply.settled,
+            shard=pending.shard,
+            latency=adopted.latency,
+        )
+        self._record_adoption(adopted)
+
+    def _read_redirect(
+        self, rid: str, pending: _PendingRead, reply: ReadReply
+    ) -> bool:
+        """WrongShard hook: the sharded client syncs-and-retries.
+
+        An unsharded deployment owns every key, so the base client never
+        redirects a read.
+        """
+        return False
 
     # ------------------------------------------------------------------
 
@@ -370,8 +668,21 @@ class ShardedOARClient(OARClient):
         in-flight migration window where the key is owned by no shard.
     max_redirects:
         Retry budget per logical operation; when exhausted the final
-        WrongShard error is surfaced to the caller (keeps runs with a
-        permanently stranded key terminating).
+        WrongShard error is surfaced to the caller as a terminal
+        adoption (keeps runs with a permanently stranded key
+        terminating), counted in :attr:`redirects_exhausted`.
+    read_mode / is_read_only / read_retry_delay:
+        The replica-local read path (see :class:`OARClient`): reads are
+        routed to their key's shard group and answered by that group's
+        replicas without touching its sequencer.  Reads on a key the
+        target shard lost (frozen mid-migration, or moved away) get the
+        same WrongShard sync-and-retry as writes.
+    load_half_life:
+        Half-life (simulated time units) of the per-key submission
+        counters behind :attr:`key_load`.  The rebalance planner
+        snapshots these; decay makes the snapshot reflect *recent*
+        traffic instead of all-time totals, so a key that went cold is
+        not migrated on stale evidence.  ``None`` disables decay.
     """
 
     def __init__(
@@ -388,6 +699,10 @@ class ShardedOARClient(OARClient):
         route_authority: Optional[Any] = None,
         redirect_delay: float = 5.0,
         max_redirects: int = 100,
+        read_mode: str = "sequencer",
+        is_read_only: Optional[Callable[[Tuple[Any, ...]], bool]] = None,
+        read_retry_delay: float = 5.0,
+        load_half_life: Optional[float] = 250.0,
     ) -> None:
         groups = tuple(tuple(group) for group in shard_groups)
         if router.n_shards != len(groups):
@@ -396,7 +711,15 @@ class ShardedOARClient(OARClient):
                 f"{len(groups)} groups were given"
             )
         all_servers = [pid_ for group in groups for pid_ in group]
-        super().__init__(pid, all_servers, on_adopt, retry_interval)
+        super().__init__(
+            pid,
+            all_servers,
+            on_adopt,
+            retry_interval,
+            read_mode=read_mode,
+            is_read_only=is_read_only,
+            read_retry_delay=read_retry_delay,
+        )
         self.shard_groups = groups
         self.router = router
         self.route_authority = route_authority
@@ -413,9 +736,13 @@ class ShardedOARClient(OARClient):
         #: Inverse index of :attr:`routed`, maintained at submit time so
         #: per-shard checkers do not rescan every routed request per shard.
         self._routed_by_shard: Dict[int, List[str]] = {}
-        #: Per-key submission counts: the load statistic the rebalance
-        #: coordinator plans from (cheap, works with tracing off).
-        self.key_load: Dict[Any, int] = {}
+        #: Per-key submission load, exponentially decayed with
+        #: ``load_half_life``: the statistic the rebalance coordinator
+        #: plans from (cheap, works with tracing off).  ``snapshot()``
+        #: gives decayed loads, ``counts()`` exact submission counts.
+        self.key_load = DecayingKeyLoad(
+            half_life=load_half_life, clock=lambda: self.env.now
+        )
         #: rid -> op for routed single-shard submissions, kept while the
         #: request is in flight so a WrongShard reply can be retried.
         self._op_of: Dict[str, Tuple[Any, ...]] = {}
@@ -426,6 +753,7 @@ class ShardedOARClient(OARClient):
         self.cross_shard_committed = 0
         self.cross_shard_aborted = 0
         self.redirects = 0
+        self.redirects_exhausted = 0
 
     @property
     def outstanding(self) -> int:
@@ -435,12 +763,13 @@ class ShardedOARClient(OARClient):
         finish (decisions are submitted in the last prepare's adoption
         event), so the second term is defensive.  Operations waiting out
         a redirect delay count too -- the driver must not conclude the
-        run while a retry is pending.
+        run while a retry is pending -- as do replica-local reads.
         """
+        base = len(self._pending) + len(self._reads) + self._redirect_pending
         if not self._txs:  # quiescence predicates poll this per event
-            return len(self._pending) + self._redirect_pending
+            return base
         stalled = sum(1 for tx in self._txs.values() if tx.inflight == 0)
-        return len(self._pending) + stalled + self._redirect_pending
+        return base + stalled
 
     def shards_of(self, op: Tuple[Any, ...]) -> Tuple[int, ...]:
         """The distinct shards an operation's keys map to (sorted)."""
@@ -467,11 +796,17 @@ class ShardedOARClient(OARClient):
             return super().submit(op, servers)
         op = tuple(op)
         keys = tuple(self.key_extractor(op))
-        load = self.key_load
+        record = self.key_load.record
         for key in keys:
-            load[key] = load.get(key, 0) + 1
+            record(key)
         shards = self._shards_for_keys(keys)
         if len(shards) == 1:
+            if self._wants_read_path(op):
+                # Replica-local read: straight to the key's shard group,
+                # no sequencer involved.  (A hypothetical multi-shard
+                # read has no single group to quorum over and falls
+                # through to the ordered path below.)
+                return self._submit_read(op, self.shard_groups[shards[0]], shards[0])
             return self.submit_to_shard(op, shards[0])
         return self._begin_cross_shard(op, shards)
 
@@ -543,14 +878,19 @@ class ShardedOARClient(OARClient):
     ) -> bool:
         """Sync-and-retry ``op`` after a WrongShard outcome on ``old_id``.
 
-        Returns False (caller surfaces the error) when redirects are
-        disabled or the retry budget for this logical operation is
-        spent.  The retry happens ``redirect_delay`` later under a fresh
-        request id that inherits the original submission time, so
-        client-perceived latency spans the whole redirect chain.
+        Returns False (caller surfaces the error as a terminal adoption)
+        when redirects are disabled or the retry budget for this logical
+        operation is spent.  The retry happens ``redirect_delay`` later
+        under a fresh request id that inherits the original submission
+        time, so client-perceived latency spans the whole redirect chain.
         """
         attempts = self._redirect_attempts.pop(old_id, 0)
         if self.route_authority is None or attempts >= self.max_redirects:
+            if self.route_authority is not None:
+                self.redirects_exhausted += 1
+                self.env.trace(
+                    "redirect_exhausted", rid=old_id, op=op, attempts=attempts
+                )
             return False
         self.redirects += 1
         self.env.trace(
@@ -571,18 +911,36 @@ class ShardedOARClient(OARClient):
             # (the one case that redirects) would look ever hotter to
             # the rebalance planner and invite move oscillation.
             for key in self.key_extractor(op):
-                self.key_load[key] -= 1
+                self.key_load.unrecord(key)
             self._redirect_attempts[new_id] = attempts + 1
             pending = self._pending.get(new_id)
             if pending is not None:
                 pending.submit_time = submit_time
-            else:
-                tx = self._txs.get(new_id)
-                if tx is not None:
-                    tx.submit_time = submit_time
+                return
+            read = self._reads.get(new_id)
+            if read is not None:
+                read.submit_time = submit_time
+                return
+            tx = self._txs.get(new_id)
+            if tx is not None:
+                tx.submit_time = submit_time
 
         self.env.set_timer(self.redirect_delay, retry)
         return True
+
+    def _read_redirect(
+        self, rid: str, pending: _PendingRead, reply: ReadReply
+    ) -> bool:
+        """A read that observed WrongShard syncs-and-retries like a write.
+
+        The read is re-routed by the refreshed table under a fresh read
+        id; the original submission time is inherited (the redirect
+        chain is one logical read).  Budget-exhausted reads surface the
+        WrongShard error as a terminal adoption, exactly like writes.
+        """
+        if self._wrong_shard_of(reply.value) is None:
+            return False
+        return self._schedule_redirect(rid, pending.op, pending.submit_time)
 
     # ------------------------------------------------------------------
 

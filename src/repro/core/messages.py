@@ -58,6 +58,59 @@ class Reply:
 
 
 @dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """A replica-local read (never ordered by the sequencer).
+
+    Sent point-to-point to one replica (optimistic read mode) or to the
+    whole group (conservative mode); the replica executes the read-only
+    operation against its current state -- the adopted prefix plus its
+    optimistic suffix -- and answers with a :class:`ReadReply` without
+    involving the ordering pipeline.  ``rid`` lives in its own namespace
+    (``<client>-r<n>``) so read ids never collide with ordered requests.
+
+    ``round`` counts the client's polling rounds for this rid (bumped on
+    every retransmit/re-poll) and is echoed in the reply: a conservative
+    quorum must form among *same-round* replies only, or a stale reply
+    from a superseded round could combine with fresh ones into a
+    majority no single instant ever held.
+    """
+
+    rid: str
+    client: str
+    op: Tuple[Any, ...]
+    round: int = 0
+
+    def __repr__(self) -> str:
+        return f"ReadRequest({self.rid}, {self.op})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply:
+    """A replica's answer to a :class:`ReadRequest`.
+
+    ``position`` is the replica's full delivery position when the read
+    executed (``|A_delivered| + |O_delivered|``); ``settled`` is the
+    length of the conservatively settled prefix alone.  ``opt_depth =
+    position - settled`` is how much of the observed state was still
+    optimistic -- the client tags adoptions with it so staleness is
+    measurable after the fact.
+    """
+
+    rid: str
+    value: Any
+    position: int
+    settled: int
+    epoch: int
+    round: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadReply({self.rid}, value={self.value!r}, pos={self.position}, "
+            f"settled={self.settled}, k={self.epoch}, round={self.round})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class SeqOrder:
     """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10)."""
 

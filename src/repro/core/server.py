@@ -46,7 +46,14 @@ from repro.core.cnsv_order import (
     compute_bad_new,
     decision_from_vector,
 )
-from repro.core.messages import PhaseII, Reply, Request, SeqOrder
+from repro.core.messages import (
+    PhaseII,
+    ReadReply,
+    ReadRequest,
+    Reply,
+    Request,
+    SeqOrder,
+)
 from repro.core.sequences import EMPTY, MessageSequence
 from repro.broadcast.reliable import ReliableMulticast
 from repro.failure.detector import (
@@ -55,8 +62,11 @@ from repro.failure.detector import (
     resolve_fd,
 )
 from repro.sim.component import ComponentProcess
-from repro.statemachine.base import StateMachine
+from repro.statemachine.base import OpResult, StateMachine
 from repro.statemachine.undo import UndoLog
+
+#: Client-side read execution strategies (see ``OARConfig.read_mode``).
+READ_MODES = ("sequencer", "optimistic", "conservative")
 
 
 @dataclass
@@ -88,6 +98,22 @@ class OARConfig:
         ``"majority"`` (strict [CT96]) or ``"unsuspected"`` (the paper's
         footnote 5 -- required to reproduce the Opt-undelivery of
         Figure 4 with four servers).
+    read_mode:
+        How clients execute read-only operations (the deployment-level
+        default; scenario configs can override it per run):
+        ``"sequencer"`` (the paper's base protocol: reads are ordered
+        like writes), ``"optimistic"`` (one replica, chosen round-robin,
+        answers from its current state -- scales with replica count, may
+        observe state that is later undone), or ``"conservative"``
+        (every replica answers; the client adopts a value once a
+        majority of replicas agree on it -- safe by the undo-consistency
+        argument, but every replica serves every read).
+    read_cost:
+        Per-read service time at a replica for the replica-local read
+        path (``read_mode != "sequencer"``).  ``0.0`` answers instantly;
+        a positive value models a replica serving reads serially at rate
+        ``1/read_cost``, which is what makes read goodput scale with
+        replica count measurable (benchmark B12).
     """
 
     batch_interval: float = 0.0
@@ -96,6 +122,8 @@ class OARConfig:
     gc_after_requests: Optional[int] = None
     gc_interval: Optional[float] = None
     consensus_collect: str = "majority"
+    read_mode: str = "sequencer"
+    read_cost: float = 0.0
 
     #: Verify the server's internal invariants after every task (state
     #: disjointness, undo-log alignment, request-body coverage).  Cheap
@@ -121,6 +149,12 @@ class OARConfig:
             raise ValueError("gc_interval must be >= MIN_INTERVAL")
         if self.gc_after_requests is not None and self.gc_after_requests < 1:
             raise ValueError("gc_after_requests must be >= 1")
+        if self.read_mode not in READ_MODES:
+            raise ValueError(
+                f"read_mode {self.read_mode!r} not in {READ_MODES}"
+            )
+        if self.read_cost < 0:
+            raise ValueError("read_cost must be >= 0")
 
 
 class OARServer(ComponentProcess):
@@ -196,6 +230,13 @@ class OARServer(ComponentProcess):
         self._order_batch: MessageSequence = EMPTY
 
         self._opt_delivery_count_this_epoch = 0
+
+        # Replica-local read path: reads waiting for this replica's read
+        # service slot (OARConfig.read_cost models a serial read
+        # pipeline per replica; 0 answers on arrival).
+        self._read_queue: Deque[ReadRequest] = deque()
+        self._read_busy = False
+        self.reads_served = 0
 
         # At-most-once execution with at-least-once replies: the last
         # reply sent per request, re-sent when a client retransmission
@@ -362,9 +403,71 @@ class OARServer(ComponentProcess):
     # ------------------------------------------------------------------
 
     def on_app_message(self, src: str, payload: Any) -> None:
-        """Handle the sequencer's ordering messages (Task 1b)."""
+        """Handle the sequencer's ordering messages (Task 1b) and reads."""
         if isinstance(payload, SeqOrder):
             self._task1b_order(src, payload)
+        elif isinstance(payload, ReadRequest):
+            self._on_read_request(payload)
+
+    # ------------------------------------------------------------------
+    # Replica-local reads (never ordered; see OARConfig.read_mode)
+    # ------------------------------------------------------------------
+
+    def _on_read_request(self, read: ReadRequest) -> None:
+        if self.config.read_cost <= 0:
+            self._serve_read(read)
+            return
+        self._read_queue.append(read)
+        if not self._read_busy:
+            self._read_busy = True
+            self.env.set_timer(self.config.read_cost, self._read_service_tick)
+
+    def _read_service_tick(self) -> None:
+        """One read leaves the serial read pipeline (rate 1/read_cost)."""
+        if self._read_queue:
+            self._serve_read(self._read_queue.popleft())
+        if self._read_queue:
+            self.env.set_timer(self.config.read_cost, self._read_service_tick)
+        else:
+            self._read_busy = False
+
+    def _serve_read(self, read: ReadRequest) -> None:
+        """Execute a read against this replica's current state and reply.
+
+        The observed state is A_delivered ⊕ O_delivered -- the settled
+        prefix plus this replica's optimistic suffix.  The reply carries
+        both lengths so the client (and the read-consistency checker)
+        can tell how much of the observation was still optimistic.  An
+        operation the machine does not classify read-only gets a
+        deterministic error (a buggy or malicious client must not make a
+        replica diverge through the unordered path).
+        """
+        if not self.machine.is_read_only(read.op):
+            result: Any = OpResult(
+                ok=False, error=f"read: {read.op!r} is not read-only"
+            )
+        else:
+            result = self.machine.apply(read.op)
+        settled = len(self.a_delivered)
+        position = settled + len(self.o_delivered)
+        self.reads_served += 1
+        reply = ReadReply(
+            rid=read.rid,
+            value=result,
+            position=position,
+            settled=settled,
+            epoch=self.epoch,
+            round=read.round,
+        )
+        self.env.trace(
+            "read_exec",
+            rid=read.rid,
+            position=position,
+            settled=settled,
+            epoch=self.epoch,
+            value=result,
+        )
+        self.env.send(read.client, reply)
 
     def _task1b_order(self, src: str, order: SeqOrder) -> None:
         if order.epoch < self.epoch:

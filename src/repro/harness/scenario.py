@@ -39,7 +39,13 @@ from repro.statemachine import (
     StackMachine,
 )
 from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
-from repro.workload.generators import bank_ops, counter_ops, kv_ops, stack_ops
+from repro.workload.generators import (
+    bank_ops,
+    counter_ops,
+    kv_ops,
+    read_heavy_kv_ops,
+    stack_ops,
+)
 
 PROTOCOLS = ("oar", "sequencer", "ct", "passive")
 MACHINES = ("counter", "stack", "kv", "bank")
@@ -68,11 +74,27 @@ class ScenarioConfig:
     #: OAR-specific knobs (ignored by other protocols).
     oar: OARConfig = field(default_factory=OARConfig)
 
+    #: How clients execute read-only operations: None defers to
+    #: ``oar.read_mode`` (default "sequencer", the paper's base
+    #: protocol); "optimistic" / "conservative" enable the
+    #: replica-local read path (OAR protocol only).
+    read_mode: Optional[str] = None
+
+    #: When set (kv machine only), the workload becomes the Zipf-skewed
+    #: read-heavy mix of ``read_heavy_kv_ops`` with this read fraction
+    #: over ``n_keys`` keys -- the B12 read-scaling workload.
+    read_ratio: Optional[float] = None
+    n_keys: int = 16
+    zipf_s: float = 1.2
+
     #: "closed" (latency-oriented) or "open" (Poisson arrivals at
     #: ``open_rate`` requests/time-unit per client).
     driver: str = "closed"
     open_rate: float = 0.2
     think_time: float = 0.0
+    #: Client retransmission pacing (lost replies / crashed read
+    #: targets); None disables retransmission.
+    retry_interval: Optional[float] = None
 
     fault_schedule: Optional[FaultSchedule] = None
 
@@ -180,31 +202,56 @@ class ScenarioRun:
             checkers.check_replica_convergence(self.servers)
             checkers.check_external_consistency(trace, strict=strict)
             if at_least_once and self.all_done():
+                # Replica-local reads are never delivered by servers --
+                # they are answered, not ordered -- so they are not
+                # subject to the delivery-based at-least-once property.
+                read_rids = set()
+                for client in self.clients:
+                    read_rids |= getattr(client, "read_rids", set())
+                ordered = [
+                    rid for rid in self.submitted_rids() if rid not in read_rids
+                ]
                 checkers.check_at_least_once(
-                    trace, self.correct_servers, self.submitted_rids()
+                    trace, self.correct_servers, ordered
                 )
+            checkers.check_read_consistency(
+                trace,
+                self.servers,
+                lambda: _make_machine(self.config.machine),
+            )
         else:
             checkers.check_replica_convergence(self.servers)
 
 
+_MACHINE_CLASSES = {
+    "counter": CounterMachine,
+    "stack": StackMachine,
+    "kv": KVStoreMachine,
+    "bank": BankMachine,
+}
+
+
 def _make_machine(kind: str) -> Any:
-    if kind == "counter":
-        return CounterMachine()
-    if kind == "stack":
-        return StackMachine()
-    if kind == "kv":
-        return KVStoreMachine()
-    if kind == "bank":
+    if kind == "bank":  # the bank starts with seeded accounts
         return BankMachine({"alice": 1_000, "bob": 1_000, "carol": 1_000})
-    raise ValueError(f"unknown machine kind: {kind} (choose from {MACHINES})")
+    cls = _MACHINE_CLASSES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown machine kind: {kind} (choose from {MACHINES})")
+    return cls()
 
 
-def _make_ops(kind: str, rng: random.Random) -> Iterator[Tuple[Any, ...]]:
+def _make_ops(config: ScenarioConfig, rng: random.Random) -> Iterator[Tuple[Any, ...]]:
+    kind = config.machine
     if kind == "counter":
         return counter_ops()
     if kind == "stack":
         return stack_ops(rng)
     if kind == "kv":
+        if config.read_ratio is not None:
+            keys = tuple(f"k{i:03d}" for i in range(config.n_keys))
+            return read_heavy_kv_ops(
+                rng, keys, s=config.zipf_s, read_ratio=config.read_ratio
+            )
         return kv_ops(rng)
     if kind == "bank":
         return bank_ops(rng)
@@ -258,11 +305,18 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
         servers.append(server)
         network.add_process(server)
 
+    read_mode = config.read_mode or config.oar.read_mode
     clients: List[Any] = []
     for index in range(config.n_clients):
         cid = f"c{index + 1}"
         if config.protocol == "oar":
-            client: Any = OARClient(cid, group)
+            client: Any = OARClient(
+                cid,
+                group,
+                retry_interval=config.retry_interval,
+                read_mode=read_mode,
+                is_read_only=_MACHINE_CLASSES[config.machine].is_read_only,
+            )
         else:
             reliable = config.protocol == "ct"
             client = FirstReplyClient(cid, group, reliable=reliable)
@@ -274,7 +328,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
     drivers: List[Any] = []
     for index, client in enumerate(clients):
         ops_rng = sim.child_rng(f"ops/{client.pid}")
-        ops = _make_ops(config.machine, ops_rng)
+        ops = _make_ops(config, ops_rng)
         if config.driver == "closed":
             driver: Any = ClosedLoopDriver(
                 sim,

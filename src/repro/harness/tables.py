@@ -49,12 +49,25 @@ def _render_cell(value: Any) -> str:
 
 
 def results_dir() -> Path:
-    """Where benchmark reports go (override with REPRO_RESULTS_DIR)."""
+    """Where benchmark reports go.
+
+    By default reports land in ``benchmarks/results/local/`` -- a
+    git-ignored scratch directory -- so running the bench suite never
+    dirties the working tree (the tracked reports under
+    ``benchmarks/results/`` used to be rewritten on every run and kept
+    landing as trailing "oops" commits).  Rewriting the *tracked*
+    reports is opt-in: pass ``--update-results`` to pytest (or set
+    ``REPRO_UPDATE_RESULTS=1``).  ``REPRO_RESULTS_DIR`` overrides the
+    destination entirely, update flag or not.
+    """
     override = os.environ.get("REPRO_RESULTS_DIR")
+    update = os.environ.get("REPRO_UPDATE_RESULTS", "").strip().lower()
     if override:
         path = Path(override)
-    else:
+    elif update not in ("", "0", "false", "no"):
         path = Path.cwd() / "benchmarks" / "results"
+    else:
+        path = Path.cwd() / "benchmarks" / "results" / "local"
     path.mkdir(parents=True, exist_ok=True)
     return path
 

@@ -58,12 +58,14 @@ from repro.workload.generators import (
     cross_shard_bank_ops,
     hot_shift_kv_ops,
     kv_ops,
+    read_heavy_bank_ops,
+    read_heavy_kv_ops,
     stack_ops,
     zipfian_kv_ops,
 )
 
 SHARDED_MACHINES = ("kv", "bank", "counter", "stack")
-WORKLOADS = ("uniform", "zipf", "hotshift", "cross")
+WORKLOADS = ("uniform", "zipf", "hotshift", "cross", "readheavy")
 
 #: Machines with per-key state: their sharded deployments carry the
 #: key-ownership books and support live migration + the migration
@@ -86,18 +88,34 @@ class ShardedScenarioConfig:
     #: Workload family: "uniform" (kv over a flat key universe), "zipf"
     #: (kv, skewed), "hotshift" (kv, skewed with a hotspot that moves
     #: across the key space every ``shift_every`` ops -- the live-
-    #: rebalancing stress), "cross" (bank transfers, cross-shard mix).
+    #: rebalancing stress), "cross" (bank transfers, cross-shard mix),
+    #: "readheavy" (kv or bank, Zipf-skewed, ``read_ratio`` reads --
+    #: the replica-local read-path mix of benchmark B12).
     workload: str = "uniform"
     n_keys: int = 32
     zipf_s: float = 1.2
     shift_every: int = 150
     cross_ratio: float = 0.3
+    read_ratio: float = 0.9
     accounts_per_shard: int = 4
     initial_balance: int = 1_000
+
+    #: How clients execute read-only operations: None defers to
+    #: ``oar.read_mode`` ("sequencer" orders reads like writes;
+    #: "optimistic" / "conservative" answer replica-locally).
+    read_mode: Optional[str] = None
+
+    #: Half-life of the clients' per-key load counters (the rebalance
+    #: planner's statistic); None disables decay (all-time totals).
+    load_half_life: Optional[float] = 250.0
 
     #: Pause before a WrongShard-redirected operation is retried (covers
     #: the window where a migrating key is owned by no shard).
     redirect_delay: float = 5.0
+
+    #: Redirect budget per logical operation; once spent the WrongShard
+    #: error is surfaced as a terminal adoption.
+    max_redirects: int = 100
 
     latency: Optional[LatencyModel] = None
     fd_kind: str = "heartbeat"
@@ -247,6 +265,7 @@ class ShardedRun:
         client_pids = self.client_pids + [
             coordinator.client.pid for coordinator in self.rebalancers
         ]
+        initial_placement = self.router.placement(self.key_universe)
         for shard, servers in enumerate(self.shards):
             checkers.check_single_shard_properties(
                 self.trace,
@@ -255,6 +274,15 @@ class ShardedRun:
                 self.routed_to(shard),
                 strict=strict,
                 at_least_once=at_least_once and quiescent,
+            )
+            # Replica-local reads routed to this shard observe
+            # prefix-closed states of its adopted order (conservative
+            # reads must; optimistic staleness is counted, not failed).
+            checkers.check_read_consistency(
+                self.trace,
+                servers,
+                lambda s=shard: _make_machine(self.config, initial_placement[s]),
+                shard=shard,
             )
         checkers.check_cross_shard_atomicity(
             self.trace,
@@ -342,12 +370,20 @@ def _make_ops(
             return cross_shard_bank_ops(
                 rng, accounts_by_shard, cross_ratio=config.cross_ratio
             )
+        if config.workload == "readheavy":
+            return read_heavy_bank_ops(
+                rng, accounts_by_shard, read_ratio=config.read_ratio
+            )
         return cross_shard_bank_ops(rng, accounts_by_shard, cross_ratio=0.0)
     if config.workload == "zipf":
         return zipfian_kv_ops(rng, key_universe, s=config.zipf_s)
     if config.workload == "hotshift":
         return hot_shift_kv_ops(
             rng, key_universe, s=config.zipf_s, shift_every=config.shift_every
+        )
+    if config.workload == "readheavy":
+        return read_heavy_kv_ops(
+            rng, key_universe, s=config.zipf_s, read_ratio=config.read_ratio
         )
     return kv_ops(rng, keys=key_universe)
 
@@ -418,6 +454,7 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
         shards.append(servers)
 
     machine_cls = _machine_class(config.machine)
+    read_mode = config.read_mode or config.oar.read_mode
     clients: List[ShardedOARClient] = []
     for index in range(config.n_clients):
         # Each client routes by its own (possibly stale) copy of the
@@ -431,6 +468,10 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
             retry_interval=config.retry_interval,
             route_authority=routing_table,
             redirect_delay=config.redirect_delay,
+            max_redirects=config.max_redirects,
+            read_mode=read_mode,
+            is_read_only=machine_cls.is_read_only,
+            load_half_life=config.load_half_life,
         )
         clients.append(client)
         network.add_process(client)

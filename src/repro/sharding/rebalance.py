@@ -58,7 +58,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.client import AdoptedReply, ShardedOARClient
 from repro.sharding.router import RoutingTable
@@ -163,17 +163,25 @@ class RebalanceCoordinator:
     # Load snapshot and planning
     # ------------------------------------------------------------------
 
-    def snapshot_key_load(self) -> Dict[Any, int]:
-        """Aggregate per-key submission counts across observed clients."""
-        load: Dict[Any, int] = {}
+    def snapshot_key_load(self) -> Dict[Any, float]:
+        """Aggregate per-key load across observed clients, decayed to now.
+
+        Clients keep :class:`~repro.core.loadtrack.DecayingKeyLoad`
+        counters, so the snapshot reflects *recent* demand: a key that
+        was hot during warm-up but went cold no longer dominates the
+        plan (a plain mapping still works, for tests that inject loads).
+        """
+        load: Dict[Any, float] = {}
         for client in self.observed_clients:
-            for key, count in client.key_load.items():
-                load[key] = load.get(key, 0) + count
+            source = client.key_load
+            items = source.snapshot().items() if hasattr(source, "snapshot") else source.items()
+            for key, count in items:
+                load[key] = load.get(key, 0.0) + count
         return load
 
     def plan_moves(
         self,
-        load: Optional[Dict[Any, int]] = None,
+        load: Optional[Dict[Any, float]] = None,
         max_moves: int = 8,
     ) -> List[Tuple[Any, int, int]]:
         """Greedy plan: repeatedly move the heaviest key that shrinks the
@@ -243,6 +251,30 @@ class RebalanceCoordinator:
         self._queue.append(record)
         self._pump()
         return record
+
+    def schedule(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` (typically migrate/rebalance calls) at absolute
+        simulated time ``when``, holding the run open until it fires.
+
+        Scheduling migration kicks with a raw simulator timer is a
+        quiescence race: a run whose drivers finish *before* ``when``
+        looks done (nothing active, nothing queued), the harness drops
+        into its grace window, and the migrations either never complete
+        or silently race the run teardown.  Routing the timer through
+        the coordinator counts it in ``_pending_starts``, which
+        :attr:`done` already respects.
+        """
+        self._pending_starts += 1
+
+        def fire() -> None:
+            self._pending_starts -= 1
+            action()
+            # The action usually enqueues migrations itself; _pump is
+            # idempotent and covers actions that only mutated the queue.
+            self._pump()
+
+        delay = max(0.0, when - self.env.now)
+        self.env.set_timer(delay, fire)
 
     def resume(self, journal: Iterable[MigrationRecord]) -> None:
         """Adopt a crashed coordinator's journal and finish its work.
@@ -480,15 +512,11 @@ def attach_rebalancer(
         max_attempts=max_attempts,
     )
     if start_at is not None:
-        # Hold the coordinator "not done" until the timer fires, or a
-        # run whose drivers finish before start_at would quiesce out
-        # from under the scheduled rebalance and silently skip it.
-        coordinator._pending_starts += 1
-
-        def fire() -> None:
-            coordinator._pending_starts -= 1
-            coordinator.rebalance(max_moves=max_moves)
-
-        run.sim.schedule_at(start_at, fire)
+        # Held open via _pending_starts (see RebalanceCoordinator.
+        # schedule): a run whose drivers finish before start_at must
+        # not quiesce out from under the scheduled rebalance.
+        coordinator.schedule(
+            start_at, lambda: coordinator.rebalance(max_moves=max_moves)
+        )
     run.rebalancers.append(coordinator)
     return coordinator

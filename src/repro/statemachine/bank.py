@@ -144,6 +144,12 @@ class BankMachine(MigratableMachine):
         return ()  # total / tx_commit / tx_abort: routed explicitly
 
     @staticmethod
+    def is_read_only(op: Tuple[Any, ...]) -> bool:
+        """``balance`` and ``total`` never mutate; the tx/mig families do."""
+        name = op[0] if op else None
+        return (name == "balance" and len(op) == 2) or (name == "total" and len(op) == 1)
+
+    @staticmethod
     def tx_branches(
         op: Tuple[Any, ...], txid: str
     ) -> Optional[Dict[Any, Tuple[Any, ...]]]:

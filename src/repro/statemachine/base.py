@@ -73,6 +73,22 @@ class StateMachine:
         return ()
 
     @staticmethod
+    def is_read_only(op: Tuple[Any, ...]) -> bool:
+        """True when ``op`` cannot change state (replica-local read path).
+
+        Read-only operations may be executed at a single replica against
+        its current state and answered without submitting to the
+        sequencer (``OARConfig.read_mode``).  Must be a pure function of
+        the operation and *conservative*: anything not provably
+        side-effect free stays False and takes the ordered path.  The
+        ``mig_*``/``tx_*`` families are deliberately never classified
+        read-only -- even ``mig_status`` must be totally ordered, because
+        migration recovery reasons about its position in the shard's
+        order.
+        """
+        return False
+
+    @staticmethod
     def tx_branches(
         op: Tuple[Any, ...], txid: str
     ) -> "dict[Any, Tuple[Any, ...]] | None":

@@ -72,6 +72,12 @@ class KVStoreMachine(MigratableMachine):
             return (op[1],)
         return ()
 
+    @staticmethod
+    def is_read_only(op: Tuple[Any, ...]) -> bool:
+        """``get`` and ``keys`` never mutate; everything else might."""
+        name = op[0] if op else None
+        return (name == "get" and len(op) == 2) or (name == "keys" and len(op) == 1)
+
     # -- live migration (MigratableMachine) -----------------------------
 
     def export_key(self, key: Any) -> Tuple[Any, ...]:

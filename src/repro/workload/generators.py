@@ -93,6 +93,40 @@ def zipfian_kv_ops(
             yield ("get", key)
 
 
+def read_heavy_kv_ops(
+    rng: random.Random,
+    keys: Sequence[str],
+    s: float = 1.2,
+    read_ratio: float = 0.9,
+) -> Iterator[Op]:
+    """Zipf-skewed kv mix dominated by reads (default 90/10 get/set).
+
+    The replica-local read-path workload (benchmark B12): with reads
+    bypassing the sequencer, goodput under this mix should scale with
+    replica count while the 10% write stream stays pinned to the
+    ordering pipeline.  Values written are unique (``v<n>``), which is
+    what lets the read-consistency checker attribute every observed
+    value to exactly one write.
+    """
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be within [0, 1]")
+    return zipfian_kv_ops(rng, keys, s=s, write_ratio=1.0 - read_ratio)
+
+
+def read_heavy_bank_ops(
+    rng: random.Random,
+    accounts_by_shard: Sequence[Sequence[str]],
+    read_ratio: float = 0.9,
+    cross_ratio: float = 0.0,
+) -> Iterator[Op]:
+    """Bank mix dominated by balance reads (transfers keep conservation)."""
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be within [0, 1]")
+    return cross_shard_bank_ops(
+        rng, accounts_by_shard, cross_ratio=cross_ratio, read_ratio=read_ratio
+    )
+
+
 def hot_shift_kv_ops(
     rng: random.Random,
     keys: Sequence[str],

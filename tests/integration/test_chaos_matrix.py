@@ -119,7 +119,7 @@ class TestChaosMatrix:
                     src = run.routing_table.shard_of(key)
                     coordinator.migrate(key, (src + 1) % n)
 
-            run.sim.schedule_at(15.0, kick)
+            coordinator.schedule(15.0, kick)
 
         config = ShardedScenarioConfig(
             n_shards=2,
@@ -146,6 +146,54 @@ class TestChaosMatrix:
 
         run_with_artifact("migration-server-crash", config, extra)
 
+    def test_reads_race_migration_under_replica_crash(self):
+        # The replica-local read path under chaos: a 90/10 Zipf read mix
+        # in both read modes (split by seed parity so every nightly
+        # sweep covers both), the two head keys migrating mid-run, and a
+        # replica crash in the middle of it.  check_all runs
+        # check_read_consistency per shard: zero adopted-mode
+        # violations, staleness merely counted.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+
+            def kick():
+                n = run.config.n_shards
+                for key in run.key_universe[:2]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            coordinator.schedule(16.0, kick)
+            run.network.crash_at(20.0 + (SEED % 4), "s0.p2")
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=25,
+            machine="kv",
+            workload="readheavy",
+            zipf_s=1.4,
+            read_mode="conservative" if SEED % 2 else "optimistic",
+            read_ratio=0.9,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 300,
+        )
+
+        def extra(run):
+            assert run.rebalancers[0].done
+            reads = sum(client.reads_adopted for client in run.clients)
+            assert reads > 0
+            for client in run.clients:
+                assert client.outstanding == 0
+
+        run_with_artifact("reads-race-migration", config, extra)
+
     def test_coordinator_crash_with_recovery(self):
         # The coordinator itself dies mid-move; a recovery coordinator
         # adopts the journal and heals the cluster.
@@ -154,7 +202,7 @@ class TestChaosMatrix:
             key = run.key_universe[0]
             src = run.routing_table.shard_of(key)
             dst = (src + 1) % run.config.n_shards
-            run.sim.schedule_at(20.0, lambda: coordinator.migrate(key, dst))
+            coordinator.schedule(20.0, lambda: coordinator.migrate(key, dst))
             run.sim.schedule_at(
                 # Jittered latencies move the adoption instant around;
                 # seed-dependent crash times sample the whole window

@@ -25,7 +25,7 @@ def _arm_single_move(run, start_at=30.0, key_index=0):
     key = run.key_universe[key_index]
     src = run.routing_table.shard_of(key)
     dst = (src + 1) % run.config.n_shards
-    run.sim.schedule_at(start_at, lambda: coordinator.migrate(key, dst))
+    coordinator.schedule(start_at, lambda: coordinator.migrate(key, dst))
     return coordinator
 
 
@@ -67,12 +67,12 @@ class TestSingleMigration:
             assert not server.machine.owns(state["key"])
         # Some client hit the stale route and was redirected.
         assert sum(client.redirects for client in run.clients) > 0
-        # Redirect retries are not new demand: the planner's load
-        # statistic must count each logical operation exactly once.
+        # Redirect retries are not new demand: the exact (undecayed)
+        # submission book must count each logical operation once.
         total_load = sum(
             count
             for client in run.clients
-            for count in client.key_load.values()
+            for count in client.key_load.counts().values()
         )
         assert total_load == run.config.n_clients * run.config.requests_per_client
         run.check_all()

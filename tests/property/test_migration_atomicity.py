@@ -58,7 +58,10 @@ def test_random_migration_transfer_interleavings(
             coordinator.migrate(key, (src + dst_offset) % n_shards)
 
         for key_index, dst_offset, when in migrations:
-            run.sim.schedule_at(
+            # coordinator.schedule (not a raw sim timer) holds the run
+            # open: drivers may finish before `when`, and a quiesced run
+            # would otherwise cut the migration off mid-grace.
+            coordinator.schedule(
                 when, lambda ki=key_index, do=dst_offset: start(ki, do)
             )
 

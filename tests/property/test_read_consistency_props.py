@@ -1,0 +1,73 @@
+"""Property: replica-local reads stay consistent under randomized runs.
+
+Hypothesis drives read-heavy sharded scenarios -- random seeds, read
+modes, shard counts, and a randomly timed live migration of the Zipf
+head -- and asserts the full checker bundle.  ``check_read_consistency``
+(invoked by ``check_all``) is the property under test: every
+conservative read observes a prefix-closed state of its shard's adopted
+order, reads racing the migration's freeze/install window redirect
+instead of hanging or erroring, and optimistic staleness is only ever
+*counted*.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.sharding import (
+    ShardedScenarioConfig,
+    attach_rebalancer,
+    run_sharded_scenario,
+)
+
+pytestmark = pytest.mark.property
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    read_mode=st.sampled_from(["optimistic", "conservative"]),
+    n_shards=st.sampled_from([1, 2]),
+    read_ratio=st.sampled_from([0.5, 0.9]),
+    migrate_at=st.one_of(st.none(), st.floats(min_value=10.0, max_value=80.0)),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_read_heavy_runs_stay_consistent(
+    seed, read_mode, n_shards, read_ratio, migrate_at
+):
+    def arm(run):
+        if migrate_at is None or n_shards < 2:
+            return
+        coordinator = attach_rebalancer(run)
+        key = run.key_universe[seed % 4]  # a hot-ish key under Zipf
+
+        def kick():
+            src = run.routing_table.shard_of(key)
+            coordinator.migrate(key, (src + 1) % n_shards)
+
+        coordinator.schedule(migrate_at, kick)
+
+    run = run_sharded_scenario(
+        ShardedScenarioConfig(
+            n_shards=n_shards,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=25,
+            machine="kv",
+            workload="readheavy",
+            zipf_s=1.3,
+            read_mode=read_mode,
+            read_ratio=read_ratio,
+            retry_interval=40.0,
+            arm=arm,
+            grace=200.0,
+            horizon=50_000.0,
+            seed=seed,
+        )
+    )
+    assert run.all_done()
+    run.check_all()
+    reads = sum(client.reads_adopted for client in run.clients)
+    assert reads > 0
+    for client in run.clients:
+        assert client.outstanding == 0
