@@ -54,6 +54,11 @@ REGRESSION_TOLERANCE = 0.30
 #: to the kernel trips it.
 READ_TOLERANCE = 0.50
 
+#: Tolerance for the execution-engine gate (kernel-normalized like the
+#: read gate): only the conflict scheduler getting slower relative to
+#: the kernel trips it.
+EXEC_TOLERANCE = 0.50
+
 #: Tolerance for the B10 sharded wall-clock gate.  Wall-clocks carry
 #: cross-process systematic skew the rate micros do not (CPython's
 #: adaptive specialization warms differently depending on what ran
@@ -133,6 +138,28 @@ def check_against(payload: dict, committed_path: str) -> int:
             )
     else:
         notes.append("read gate skipped (no committed read_ops_per_sec)")
+
+    # Execution engine (conflict-scheduled lanes), normalized the same
+    # way.
+    committed_exec = committed.get("results", {}).get("exec_ops_per_sec")
+    if committed_exec and committed_kernel:
+        measured_ratio = payload["results"]["exec_ops_per_sec"] / measured
+        reference_ratio = committed_exec / committed_kernel
+        floor_ratio = reference_ratio * (1.0 - EXEC_TOLERANCE)
+        if measured_ratio < floor_ratio:
+            failures.append(
+                f"execution engine regressed: {measured_ratio:.6f} ops per "
+                f"kernel event is below {floor_ratio:.6f} "
+                f"({100 * (1 - EXEC_TOLERANCE):.0f}% of the committed "
+                f"{reference_ratio:.6f})"
+            )
+        else:
+            notes.append(
+                f"exec engine {measured_ratio:.6f} >= {floor_ratio:.6f} "
+                f"ops/kernel-event"
+            )
+    else:
+        notes.append("exec gate skipped (no committed exec_ops_per_sec)")
 
     expected_digest = committed.get("golden_digest", GOLDEN_DIGEST)
     if payload["golden_digest"] != expected_digest:

@@ -34,6 +34,12 @@ class CheckFailure(AssertionError):
     """A correctness property of the paper was violated by the run."""
 
 
+#: Sentinel: a delivery event whose execution result is unknown (the op
+#: was delivered but its lane never completed before the run was cut
+#: off); such events are exempt from value comparisons.
+_MISSING = object()
+
+
 # ----------------------------------------------------------------------
 # Trace reconstruction helpers
 # ----------------------------------------------------------------------
@@ -304,8 +310,21 @@ def check_total_order(servers: Sequence[Any]) -> None:
 
 
 def check_replica_convergence(servers: Sequence[Any]) -> None:
-    """Correct servers with equal delivery orders have identical state."""
-    alive = [s for s in servers if not s.crashed]
+    """Correct servers with equal delivery orders have identical state.
+
+    Servers with a non-empty execution backlog are skipped: with the
+    parallel execution engine (``OARConfig.exec_cost > 0``) delivery and
+    execution are separate instants, so a run cut off mid-flight can
+    leave a replica's delivery order complete but its state mutations
+    still queued in lanes -- lagging, not diverged.  Quiescent runs
+    (``all_done``) have drained every live replica's lanes, so there the
+    check is exactly as strong as before.
+    """
+    alive = [
+        s
+        for s in servers
+        if not s.crashed and not getattr(s, "exec_backlog", 0)
+    ]
     by_order: Dict[Tuple[str, ...], List[Any]] = defaultdict(list)
     for server in alive:
         by_order[_server_order(server)].append(server)
@@ -357,26 +376,47 @@ def check_external_consistency(
     }
     settled_cache: Dict[str, Set[int]] = {}
 
+    # Lane-interleaved traces (OARConfig.exec_cost > 0) split a delivery
+    # into the delivery event (order and position, no value) and an
+    # ``exec_done`` event carrying the result; join the values back.  A
+    # delivery with no execution (cut off mid-flight, or its undo raced
+    # the run end) keeps _MISSING and is exempt from the value
+    # comparison -- its position claim is still checked.
+    exec_values: Dict[Tuple[str, str, int, bool], Any] = {
+        (event.pid, event["rid"], event["epoch"], event["conservative"]): (
+            event["value"]
+        )
+        for event in trace.events(kind="exec_done")
+    }
+
+    def delivered_value(event: TraceEvent, conservative: bool) -> Any:
+        value = event.get("value", _MISSING)
+        if value is _MISSING:
+            value = exec_values.get(
+                (event.pid, event["rid"], event["epoch"], conservative), _MISSING
+            )
+        return value
+
     for adoption in adoptions:
         rid = adoption["rid"]
         for event in a_delivers.get(rid, ()):
-            if (
-                event["position"] != adoption["position"]
-                or event["value"] != adoption["value"]
+            value = delivered_value(event, True)
+            if event["position"] != adoption["position"] or (
+                value is not _MISSING and value != adoption["value"]
             ):
                 raise CheckFailure(
                     f"external consistency violated: client adopted "
                     f"{rid} at position {adoption['position']} "
                     f"(value {adoption['value']!r}) but {event.pid} "
                     f"A-delivered it at {event['position']} "
-                    f"(value {event['value']!r})"
+                    f"(value {value!r})"
                 )
         for event in opt_delivers.get(rid, ()):
             if (event.pid, rid, event["epoch"]) in undone:
                 continue
-            matches = (
-                event["position"] == adoption["position"]
-                and event["value"] == adoption["value"]
+            value = delivered_value(event, False)
+            matches = event["position"] == adoption["position"] and (
+                value is _MISSING or value == adoption["value"]
             )
             if matches:
                 continue
@@ -390,7 +430,7 @@ def check_external_consistency(
                 f"external consistency violated: client adopted {rid} at "
                 f"position {adoption['position']} (value "
                 f"{adoption['value']!r}) but {event.pid} Opt-delivered it "
-                f"at {event['position']} (value {event['value']!r}) in "
+                f"at {event['position']} (value {value!r}) in "
                 f"epoch {event['epoch']} without undoing it"
             )
     return len(adoptions)

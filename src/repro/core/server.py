@@ -37,10 +37,11 @@ R-broadcast a periodic PhaseII.  Benchmarks quantify the trade-off
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.consensus.chandra_toueg import ConsensusManager
+from repro.core.execution import ExecutionEngine
 from repro.core.cnsv_order import (
     CnsvOrderResult,
     compute_bad_new,
@@ -114,6 +115,19 @@ class OARConfig:
         a positive value models a replica serving reads serially at rate
         ``1/read_cost``, which is what makes read goodput scale with
         replica count measurable (benchmark B12).
+    exec_cost / exec_lanes:
+        The replica execution service model
+        (:class:`~repro.core.execution.ExecutionEngine`).  ``exec_cost``
+        is the service time one state-machine operation occupies a
+        worker lane for (``0.0``, the default, executes inline at
+        delivery -- the paper's free-execution idealization and the
+        golden-digest fast path); ``exec_lanes`` is how many operations
+        with disjoint ``keys_of`` footprints may be in service
+        concurrently.  Conflicting operations are dependency-chained in
+        delivered order, so results and state are byte-identical to
+        serial execution; aggregate execution capacity is
+        ``exec_lanes/exec_cost`` for conflict-free workloads and
+        ``1/exec_cost`` for a single hot key (benchmark B13).
     """
 
     batch_interval: float = 0.0
@@ -124,6 +138,8 @@ class OARConfig:
     consensus_collect: str = "majority"
     read_mode: str = "sequencer"
     read_cost: float = 0.0
+    exec_cost: float = 0.0
+    exec_lanes: int = 1
 
     #: Verify the server's internal invariants after every task (state
     #: disjointness, undo-log alignment, request-body coverage).  Cheap
@@ -134,6 +150,21 @@ class OARConfig:
     #: timer would starve the event loop without ordering any faster
     #: than ``batch_interval = 0`` (order on every R-delivery).
     MIN_INTERVAL = 0.001
+
+    def with_exec_overrides(
+        self, exec_cost: Optional[float], exec_lanes: Optional[int]
+    ) -> "OARConfig":
+        """A copy with the scenario-level execution overrides applied.
+
+        ``None`` keeps this config's value; used by both harnesses so
+        the override logic lives in exactly one place.
+        """
+        overrides: Dict[str, Any] = {}
+        if exec_cost is not None:
+            overrides["exec_cost"] = exec_cost
+        if exec_lanes is not None:
+            overrides["exec_lanes"] = exec_lanes
+        return replace(self, **overrides) if overrides else self
 
     def __post_init__(self) -> None:
         if self.batch_interval < 0:
@@ -155,6 +186,10 @@ class OARConfig:
             )
         if self.read_cost < 0:
             raise ValueError("read_cost must be >= 0")
+        if self.exec_cost < 0:
+            raise ValueError("exec_cost must be >= 0")
+        if not isinstance(self.exec_lanes, int) or self.exec_lanes < 1:
+            raise ValueError("exec_lanes must be an integer >= 1")
 
 
 class OARServer(ComponentProcess):
@@ -206,6 +241,19 @@ class OARServer(ComponentProcess):
         self.sequencer_index = 0
         self.requests: Dict[str, Request] = {}
         self.undo_log = UndoLog()
+
+        # The replica execution service model (OARConfig.exec_cost /
+        # exec_lanes): every apply -- optimistic, conservative redo, and
+        # read fencing -- goes through the engine.  exec_cost = 0 is the
+        # inline fast path (executes synchronously at delivery, exactly
+        # the pre-engine behaviour and trace shape).
+        self.engine = ExecutionEngine(
+            machine,
+            lanes=self.config.exec_lanes,
+            cost=self.config.exec_cost,
+            timer=self._exec_timer,
+            undo_log=self.undo_log,
+        )
 
         # Ordered by the sequencer but not yet executable (request body
         # not R-delivered yet); drained in order by Task 0.  A deque:
@@ -282,6 +330,19 @@ class OARServer(ComponentProcess):
     def majority(self) -> int:
         """⌈(|Π|+1)/2⌉ -- the quorum every guarantee is anchored in."""
         return len(self.group) // 2 + 1
+
+    @property
+    def exec_backlog(self) -> int:
+        """Delivered-but-not-executed operations (0 on the inline path).
+
+        Quiescence predicates use this: a run is not done while any live
+        replica still has state mutations in its execution lanes.
+        """
+        return self.engine.backlog
+
+    def _exec_timer(self, delay: float, callback: Any) -> Any:
+        """Lane-service timer; env-bound lazily (env binds at start)."""
+        return self.env.set_timer(delay, callback)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -441,13 +502,24 @@ class OARServer(ComponentProcess):
         operation the machine does not classify read-only gets a
         deterministic error (a buggy or malicious client must not make a
         replica diverge through the unordered path).
+
+        With a positive ``exec_cost`` the read is fenced by the
+        execution engine: it waits for in-flight conflicting *writes* on
+        its keys (a delivered-but-unexecuted write must land before the
+        read answers, or the reply's position tag would claim state the
+        replica had not reached), but takes no lane and delays nothing.
         """
         if not self.machine.is_read_only(read.op):
-            result: Any = OpResult(
-                ok=False, error=f"read: {read.op!r} is not read-only"
+            self._answer_read(
+                read,
+                OpResult(ok=False, error=f"read: {read.op!r} is not read-only"),
             )
-        else:
-            result = self.machine.apply(read.op)
+            return
+        self.engine.submit_read(
+            read.op, lambda: self._answer_read(read, self.machine.apply(read.op))
+        )
+
+    def _answer_read(self, read: ReadRequest, result: Any) -> None:
         settled = len(self.a_delivered)
         position = settled + len(self.o_delivered)
         self.reads_served += 1
@@ -500,41 +572,84 @@ class OARServer(ComponentProcess):
             self._opt_deliver(pending.popleft())
 
     def _opt_deliver(self, rid: str) -> None:
-        """Fig. 6, lines 12-19: process the request, reply optimistically."""
+        """Fig. 6, lines 12-19: deliver the request, execute, reply.
+
+        Delivery (the ``O_delivered`` append, the pending undo entry,
+        the position) happens here, at the delivery instant; *execution*
+        is handed to the engine.  On the exec_cost=0 fast path the
+        engine applies synchronously and ``_opt_executed`` runs before
+        this method returns, reproducing the inline behaviour (and its
+        trace events) exactly; with a positive exec_cost the op waits
+        for a lane (and for conflicting predecessors) and the trace
+        splits into ``opt_deliver`` (delivery instant, no value) plus
+        ``exec_done`` (completion instant, with the result).
+        """
         sequencer = self.current_sequencer
         if self.pid == sequencer:
             weight = frozenset({sequencer})
         else:
             weight = frozenset({self.pid, sequencer})
         request = self.requests[rid]
-        result, undo = self.machine.apply_with_undo(request.op)
         self.o_delivered = self.o_delivered.append(rid)
-        self.undo_log.push(rid, undo)
         self._opt_delivery_count_this_epoch += 1
         position = len(self.a_delivered) + len(self.o_delivered)
-        reply = Reply(
-            rid=rid,
-            value=result,
-            position=position,
-            weight=weight,
-            epoch=self.epoch,
-            conservative=False,
+        epoch = self.epoch
+        if not self.engine.inline:
+            self.env.trace("opt_deliver", rid=rid, epoch=epoch, position=position)
+        self.engine.submit(
+            rid,
+            request.op,
+            lambda result, lane: self._opt_executed(
+                request, result, position, weight, epoch, lane
+            ),
+            undoable=True,
         )
-        self.env.trace(
-            "opt_deliver",
-            rid=rid,
-            epoch=self.epoch,
-            position=position,
-            value=result,
-        )
-        self._reply_cache[rid] = reply
-        self.env.send(request.client, reply)
         if (
             self.config.gc_after_requests is not None
             and self.is_sequencer
             and self._opt_delivery_count_this_epoch >= self.config.gc_after_requests
         ):
             self._request_phase2("gc")
+
+    def _opt_executed(
+        self,
+        request: Request,
+        result: Any,
+        position: int,
+        weight: frozenset,
+        epoch: int,
+        lane: int,
+    ) -> None:
+        """An optimistic delivery left its execution lane: reply."""
+        rid = request.rid
+        if self.engine.inline:
+            self.env.trace(
+                "opt_deliver",
+                rid=rid,
+                epoch=epoch,
+                position=position,
+                value=result,
+            )
+        else:
+            self.env.trace(
+                "exec_done",
+                rid=rid,
+                epoch=epoch,
+                position=position,
+                value=result,
+                lane=lane,
+                conservative=False,
+            )
+        reply = Reply(
+            rid=rid,
+            value=result,
+            position=position,
+            weight=weight,
+            epoch=epoch,
+            conservative=False,
+        )
+        self._reply_cache[rid] = reply
+        self.env.send(request.client, reply)
 
     # ------------------------------------------------------------------
     # Task 1c: suspicion of the sequencer
@@ -617,8 +732,13 @@ class OARServer(ComponentProcess):
         epoch = self.epoch
 
         # Fig. 6, lines 25-26: Opt-undeliver Bad, in reverse delivery
-        # order (footnote 2).
+        # order (footnote 2).  The engine fences each undo first: an op
+        # still waiting for (or occupying) a lane is detached -- it never
+        # touched the state, so its undo entry is a pending no-op --
+        # while an executed op has, by chain order, no conflicting
+        # successor mid-flight, so its resolved inverse runs safely.
         for rid in reversed(result.bad.items):
+            self.engine.cancel(rid)
             self.undo_log.undo_last(rid)
             # The cached reply reflects the undone execution; drop it
             # until the message is delivered again.
@@ -626,29 +746,27 @@ class OARServer(ComponentProcess):
             self.env.trace("opt_undeliver", rid=rid, epoch=epoch)
 
         # Fig. 6, lines 27-29: A-deliver New, reply with weight Π.
+        # A-delivery (the position in the settled order) is decided
+        # here; the execution is engine-scheduled like any other apply,
+        # dependency-chained behind any still-in-flight survivors on
+        # conflicting keys.
         survivors = self.o_delivered.subtract(result.bad)
         base_position = len(self.a_delivered) + len(survivors)
         for offset, rid in enumerate(result.new.items):
             request = self.requests.get(rid)
-            op_result = self.machine.apply(request.op)
             position = base_position + offset + 1
-            reply = Reply(
-                rid=rid,
-                value=op_result,
-                position=position,
-                weight=frozenset(self.group),
-                epoch=epoch,
-                conservative=True,
+            if not self.engine.inline:
+                self.env.trace(
+                    "a_deliver", rid=rid, epoch=epoch, position=position
+                )
+            self.engine.submit(
+                rid,
+                request.op,
+                lambda op_result, lane, request=request, position=position: (
+                    self._cons_executed(request, op_result, position, epoch, lane)
+                ),
+                undoable=False,
             )
-            self.env.trace(
-                "a_deliver",
-                rid=rid,
-                epoch=epoch,
-                position=position,
-                value=op_result,
-            )
-            self._reply_cache[rid] = reply
-            self.env.send(request.client, reply)
 
         # Fig. 6, lines 30-32: settle the epoch.
         self.a_delivered = self.a_delivered.concat(survivors).concat(result.new)
@@ -674,6 +792,36 @@ class OARServer(ComponentProcess):
                 # suspected.
                 self._request_phase2("suspicion")
             self._maybe_order()
+
+    def _cons_executed(
+        self, request: Request, result: Any, position: int, epoch: int, lane: int
+    ) -> None:
+        """A conservative (A-delivered) op left its lane: reply weight Π."""
+        rid = request.rid
+        if self.engine.inline:
+            self.env.trace(
+                "a_deliver", rid=rid, epoch=epoch, position=position, value=result
+            )
+        else:
+            self.env.trace(
+                "exec_done",
+                rid=rid,
+                epoch=epoch,
+                position=position,
+                value=result,
+                lane=lane,
+                conservative=True,
+            )
+        reply = Reply(
+            rid=rid,
+            value=result,
+            position=position,
+            weight=frozenset(self.group),
+            epoch=epoch,
+            conservative=True,
+        )
+        self._reply_cache[rid] = reply
+        self.env.send(request.client, reply)
 
     def _replay_buffers(self) -> None:
         orders = self._future_orders.pop(self.epoch, [])

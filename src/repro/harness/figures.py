@@ -30,7 +30,7 @@ against the figure's outcome:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.broadcast.sequencer import OrderMsg, SequencerAtomicBroadcastServer
@@ -202,7 +202,7 @@ def run_figure_3(seed: int = 0) -> FigureRun:
     return run
 
 
-def run_figure_4(seed: int = 0) -> FigureRun:
+def run_figure_4(seed: int = 0, config: Optional[OARConfig] = None) -> FigureRun:
     """OAR with the crash of the sequencer and Opt-undelivery (Figure 4).
 
     Four servers.  Only p2 receives the ordering of {m3;m4}; the network
@@ -211,18 +211,29 @@ def run_figure_4(seed: int = 0) -> FigureRun:
     collection) decides from p3/p4's proposals only; their merged
     not-yet-delivered order is {m4;m3}, so p2 must Opt-undeliver m4 and
     m3 and re-deliver in the agreed order {m4;m3}.
+
+    ``config`` overrides the protocol knobs while keeping the figure's
+    required batching and footnote-5 consensus collection (used to
+    replay the scenario under the execution service model, where the
+    doomed suffix is undone while it may still be in a lane).
     """
     # m3 (from c1) reaches p3 slowly; m4 (from c2) reaches p3 first, so
     # p3 proposes O_notdelivered = {m4;m3} while p4 proposes {m3;m4}.
     latency = PerLinkLatency(
         ConstantLatency(1.0), {("c1", "p3"): ConstantLatency(3.0)}
     )
+    if config is None:
+        config = OARConfig(batch_interval=2.0, consensus_collect="unsuspected")
+    else:
+        config = replace(
+            config, batch_interval=2.0, consensus_collect="unsuspected"
+        )
     run = _build_oar(
         n_servers=4,
         n_clients=2,
         seed=seed,
         latency=latency,
-        config=OARConfig(batch_interval=2.0, consensus_collect="unsuspected"),
+        config=config,
     )
     run.name = "figure4"
     c1, c2 = run.clients

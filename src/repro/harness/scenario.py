@@ -80,6 +80,14 @@ class ScenarioConfig:
     #: replica-local read path (OAR protocol only).
     read_mode: Optional[str] = None
 
+    #: Replica execution service model overrides: None defers to
+    #: ``oar.exec_cost`` / ``oar.exec_lanes`` (default: free inline
+    #: execution).  Setting them here builds the servers with a
+    #: per-operation execution cost and that many conflict-scheduled
+    #: worker lanes (benchmark B13).
+    exec_cost: Optional[float] = None
+    exec_lanes: Optional[int] = None
+
     #: When set (kv machine only), the workload becomes the Zipf-skewed
     #: read-heavy mix of ``read_heavy_kv_ops`` with this read fraction
     #: over ``n_keys`` keys -- the B12 read-scaling workload.
@@ -155,7 +163,20 @@ class ScenarioRun:
         return [event["latency"] for event in self.trace.events(kind="adopt")]
 
     def all_done(self) -> bool:
-        return all(driver.done for driver in self.drivers)
+        """Drivers finished and every live replica drained its exec lanes.
+
+        A run is not quiescent while a live server still holds delivered
+        operations in its execution engine: the machine state (and the
+        outstanding replies) would still change.  Crashed servers never
+        drain and are excluded, matching crash-stop semantics.
+        """
+        if not all(driver.done for driver in self.drivers):
+            return False
+        return not any(
+            getattr(server, "exec_backlog", 0)
+            for server in self.servers
+            if not server.crashed
+        )
 
     # ------------------------------------------------------------------
 
@@ -171,6 +192,7 @@ class ScenarioRun:
         deadline = config.horizon
         sim = self.sim
         drivers = self.drivers
+        servers = self.servers
 
         def finished() -> bool:
             # Horizon first: it is one float compare, the driver sweep is
@@ -179,6 +201,11 @@ class ScenarioRun:
                 return True
             for driver in drivers:
                 if not driver.done:
+                    return False
+            for server in servers:
+                # Execution lanes still busy on a live replica: state is
+                # still changing, keep running.
+                if not server.crashed and getattr(server, "exec_backlog", 0):
                     return False
             return True
 
@@ -273,6 +300,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
         trace_level=config.trace_level,
     )
 
+    oar_config = config.oar.with_exec_overrides(config.exec_cost, config.exec_lanes)
     group = [f"p{i + 1}" for i in range(config.n_servers)]
     detectors: Dict[str, FailureDetector] = {}
 
@@ -295,7 +323,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
     for pid in group:
         machine = _make_machine(config.machine)
         if config.protocol == "oar":
-            server: Any = OARServer(pid, group, machine, fd_factory, config.oar)
+            server: Any = OARServer(pid, group, machine, fd_factory, oar_config)
         elif config.protocol == "sequencer":
             server = SequencerAtomicBroadcastServer(pid, group, machine, fd_factory)
         elif config.protocol == "ct":

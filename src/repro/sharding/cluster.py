@@ -105,6 +105,11 @@ class ShardedScenarioConfig:
     #: "optimistic" / "conservative" answer replica-locally).
     read_mode: Optional[str] = None
 
+    #: Replica execution service model overrides: None defers to
+    #: ``oar.exec_cost`` / ``oar.exec_lanes`` (free inline execution).
+    exec_cost: Optional[float] = None
+    exec_lanes: Optional[int] = None
+
     #: Half-life of the clients' per-key load counters (the rebalance
     #: planner's statistic); None disables decay (all-time totals).
     load_half_life: Optional[float] = 250.0
@@ -196,18 +201,24 @@ class ShardedRun:
         return [adopted.latency for adopted in self.adopted().values()]
 
     def all_done(self) -> bool:
-        """Drivers finished and every live rebalancer drained its queue.
+        """Drivers finished, rebalancers drained, exec lanes drained.
 
         A *crashed* coordinator never drains; it is excluded so a
         coordinator-crash scenario still reaches quiescence (its
         stranded migrations are the recovery coordinator's job).
+        Likewise crashed replicas never drain their execution lanes
+        (crash-stop suppresses their timers) and are excluded.
         """
         if not all(driver.done for driver in self.drivers):
             return False
-        return all(
+        if not all(
             coordinator.done
             for coordinator in self.rebalancers
             if not coordinator.client.crashed
+        ):
+            return False
+        return not any(
+            server.exec_backlog for server in self.servers if not server.crashed
         )
 
     def routed_to(self, shard: int) -> List[str]:
@@ -231,6 +242,7 @@ class ShardedRun:
         sim = self.sim
         drivers = self.drivers
         rebalancers = self.rebalancers
+        servers = self.servers
 
         def finished() -> bool:
             # Horizon first: one float compare vs a sweep over every
@@ -242,6 +254,9 @@ class ShardedRun:
                     return False
             for coordinator in rebalancers:
                 if not coordinator.done and not coordinator.client.crashed:
+                    return False
+            for server in servers:
+                if not server.crashed and server.exec_backlog:
                     return False
             return True
 
@@ -443,12 +458,13 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
 
         return build
 
+    oar_config = config.oar.with_exec_overrides(config.exec_cost, config.exec_lanes)
     shards: List[List[OARServer]] = []
     for shard, group in enumerate(shard_groups):
         servers: List[OARServer] = []
         for pid in group:
             machine = _make_machine(config, accounts_by_shard[shard])
-            server = OARServer(pid, group, machine, fd_factory(group), config.oar)
+            server = OARServer(pid, group, machine, fd_factory(group), oar_config)
             servers.append(server)
             network.add_process(server)
         shards.append(servers)

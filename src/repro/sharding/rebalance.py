@@ -140,6 +140,10 @@ class RebalanceCoordinator:
         #: ``start_at``); the coordinator is not ``done`` while one is
         #: pending, so a run cannot quiesce out from under the timer.
         self._pending_starts = 0
+        # Auto-trigger policy state (enable_auto_trigger).
+        self._auto: Optional[Dict[str, Any]] = None
+        self._auto_strikes = 0
+        self.auto_rebalances = 0
         client.on_adopt = self._on_adopt
 
     # ------------------------------------------------------------------
@@ -275,6 +279,113 @@ class RebalanceCoordinator:
 
         delay = max(0.0, when - self.env.now)
         self.env.set_timer(delay, fire)
+
+    def enable_auto_trigger(
+        self,
+        check_interval: float = 25.0,
+        ratio: float = 3.0,
+        sustain: int = 2,
+        min_load: float = 10.0,
+        max_moves: int = 8,
+    ) -> None:
+        """Fire rebalances automatically on *sustained* load imbalance.
+
+        Replaces scheduled-time-only kicks (ROADMAP open item): every
+        ``check_interval`` simulated time units the coordinator
+        snapshots the decayed per-key load counters, aggregates them by
+        the authority's current routing, and scores the imbalance as
+        ``hottest shard load / coldest shard load``.  When the ratio
+        stays at or above ``ratio`` for ``sustain`` consecutive ticks --
+        a momentary spike (one hot burst, a migration mid-flight
+        shuffling counters) must not trigger churn -- and no migration
+        is already active, it plans and enqueues a rebalance.
+
+        ``min_load`` is the hottest shard's minimum snapshot load for a
+        tick to count: the decayed counters are near zero at start-up
+        and between bursts, where any division would be noise.  The tick
+        uses a raw timer on purpose (unlike :meth:`schedule`): a pending
+        *policy poll* must not hold the run open -- only actual planned
+        work does.
+        """
+        if check_interval <= 0:
+            raise ValueError("check_interval must be > 0")
+        if ratio <= 1.0:
+            raise ValueError("ratio must be > 1 (hot/cold imbalance factor)")
+        if sustain < 1:
+            raise ValueError("sustain must be >= 1")
+        self._auto = {
+            "interval": check_interval,
+            "ratio": ratio,
+            "sustain": sustain,
+            "min_load": min_load,
+            "max_moves": max_moves,
+        }
+        self._auto_strikes = 0
+        self._schedule_auto_tick()
+
+    def _schedule_auto_tick(self) -> None:
+        def tick() -> None:
+            if self._auto is None or self.client.crashed:
+                return
+            self._auto_check()
+            self._schedule_auto_tick()
+
+        self.env.set_timer(self._auto["interval"], tick)
+
+    def imbalance_ratio(
+        self, load: Optional[Dict[Any, float]] = None
+    ) -> Tuple[float, float, float]:
+        """(hot/cold ratio, hottest load, coldest load) per current routing.
+
+        A shard with zero observed load makes the ratio ``inf`` whenever
+        the hottest shard saw anything at all -- maximal imbalance, not
+        a division error.
+        """
+        if load is None:
+            load = self.snapshot_key_load()
+        shard_load = [0.0] * self.authority.n_shards
+        shard_of = self.authority.shard_of
+        for key, count in load.items():
+            shard_load[shard_of(key)] += count
+        hot = max(shard_load)
+        cold = min(shard_load)
+        if hot <= 0.0:
+            return 1.0, hot, cold
+        return (hot / cold if cold > 0.0 else float("inf")), hot, cold
+
+    def _auto_check(self) -> None:
+        """One policy tick: update the strike counter, maybe rebalance."""
+        auto = self._auto
+        load = self.snapshot_key_load()
+        ratio, hot, _cold = self.imbalance_ratio(load)
+        if hot < auto["min_load"] or ratio < auto["ratio"]:
+            self._auto_strikes = 0
+            return
+        self._auto_strikes += 1
+        self.env.trace(
+            "rebalance_strike",
+            strikes=self._auto_strikes,
+            ratio=round(ratio, 3) if ratio != float("inf") else "inf",
+        )
+        if self._auto_strikes < auto["sustain"]:
+            return
+        if not self.done:
+            # Migrations already queued/active: *defer* -- keep the
+            # accumulated strikes so the rebalance fires on the first
+            # over-threshold tick after the queue drains, instead of
+            # making the hot shard re-earn the whole sustain window.
+            return
+        self._auto_strikes = 0
+        records = [
+            self.migrate(key, dst, src=src)
+            for key, src, dst in self.plan_moves(load, max_moves=auto["max_moves"])
+        ]
+        if records:
+            self.auto_rebalances += 1
+            self.env.trace(
+                "rebalance_auto", moves=len(records), ratio=round(ratio, 3)
+                if ratio != float("inf") else "inf",
+            )
 
     def resume(self, journal: Iterable[MigrationRecord]) -> None:
         """Adopt a crashed coordinator's journal and finish its work.
@@ -479,14 +590,24 @@ def attach_rebalancer(
     max_moves: int = 8,
     retry_delay: float = 10.0,
     max_attempts: int = 5,
+    auto: bool = False,
+    auto_interval: float = 25.0,
+    auto_ratio: float = 3.0,
+    auto_sustain: int = 2,
+    auto_min_load: float = 10.0,
 ) -> RebalanceCoordinator:
     """Attach a rebalance coordinator (with its own client process) to a
     built :class:`~repro.sharding.cluster.ShardedRun`.
 
     With ``start_at`` the coordinator snapshots load and rebalances at
     that simulated time (use a warm-up window so the counters mean
-    something); without it, call :meth:`RebalanceCoordinator.rebalance`
-    or :meth:`~RebalanceCoordinator.migrate` yourself.  Designed for the
+    something); with ``auto=True`` it instead polls the decayed load
+    counters every ``auto_interval`` and rebalances whenever the
+    hot/cold shard imbalance stays >= ``auto_ratio`` for
+    ``auto_sustain`` consecutive ticks
+    (:meth:`RebalanceCoordinator.enable_auto_trigger`); without either,
+    call :meth:`RebalanceCoordinator.rebalance` or
+    :meth:`~RebalanceCoordinator.migrate` yourself.  Designed for the
     config's ``arm`` hook::
 
         ShardedScenarioConfig(..., arm=lambda run: attach_rebalancer(
@@ -517,6 +638,14 @@ def attach_rebalancer(
         # not quiesce out from under the scheduled rebalance.
         coordinator.schedule(
             start_at, lambda: coordinator.rebalance(max_moves=max_moves)
+        )
+    if auto:
+        coordinator.enable_auto_trigger(
+            check_interval=auto_interval,
+            ratio=auto_ratio,
+            sustain=auto_sustain,
+            min_load=auto_min_load,
+            max_moves=max_moves,
         )
     run.rebalancers.append(coordinator)
     return coordinator

@@ -72,6 +72,24 @@ class StateMachine:
         """
         return ()
 
+    @classmethod
+    def conflict_footprint(cls, op: Tuple[Any, ...]) -> Optional[FrozenSet[Any]]:
+        """The conflict footprint of ``op`` for parallel execution.
+
+        Two operations whose footprints are disjoint commute: applying
+        them in either order yields the same results and the same
+        post-state, so the execution engine
+        (:mod:`repro.core.execution`) may run them concurrently.
+        ``None`` means *global* -- the operation conflicts with
+        everything (whole-state reads, unkeyed machines) and fences the
+        entire pipeline.  The default derives the footprint from
+        :meth:`keys_of`, mapping "no routable key" to global, which is
+        always safe: an engine can only be *less* parallel than the
+        true conflict relation, never more.
+        """
+        keys = cls.keys_of(op)
+        return frozenset(keys) if keys else None
+
     @staticmethod
     def is_read_only(op: Tuple[Any, ...]) -> bool:
         """True when ``op`` cannot change state (replica-local read path).
@@ -242,6 +260,25 @@ class MigratableMachine(StateMachine):
         interleave on one key.
         """
         return None
+
+    @classmethod
+    def conflict_footprint(cls, op: Tuple[Any, ...]) -> Optional[FrozenSet[Any]]:
+        """Migration ops conflict with everything touching their key.
+
+        ``mig_prepare``/``mig_install`` carry the key explicitly
+        (``op[2]``): they freeze or take ownership of exactly that key,
+        so they serialize against every operation on it but commute with
+        operations on other keys.  ``mig_status``/``mig_forget`` are
+        keyed by migration id only -- the key is not in the operation --
+        so they stay global (they are rare coordinator probes; fencing
+        the pipeline for them costs nothing measurable).
+        """
+        name = op[0] if op else None
+        if name.__class__ is str and name.startswith("mig_"):
+            if name in ("mig_prepare", "mig_install") and len(op) == 4:
+                return frozenset((op[2],))
+            return None
+        return super().conflict_footprint(op)
 
     # -- shared dispatch helpers ---------------------------------------
 

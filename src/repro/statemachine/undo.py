@@ -9,18 +9,42 @@ messages can never be undone (Section 4).
 This is exactly the save-point discipline the conclusion (Section 6)
 describes for transactional environments: one save-point per optimistic
 delivery, rollback for ``Bad``, commit for ``Good``.
+
+With the parallel execution engine (:mod:`repro.core.execution`,
+``OARConfig.exec_cost > 0``) an optimistic delivery and its *execution*
+are separate instants: the entry is pushed **pending** (no closure) at
+delivery time, keeping the log aligned with ``O_delivered`` in delivery
+order, and :meth:`resolve`\\ d with the real inverse once the op leaves
+its execution lane.  Undoing a still-pending entry is a no-op on state
+(the op never applied -- the engine cancels it), and resolving a tag the
+log no longer holds (the epoch settled while the op was in a lane) is
+silently ignored: settled entries can never be undone, so their inverses
+are dead weight.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Optional
+
+
+class _Entry:
+    """One (tag, undo) record; ``undo`` is None while execution is pending."""
+
+    __slots__ = ("tag", "undo")
+
+    def __init__(self, tag: str, undo: Optional[Callable[[], None]]) -> None:
+        self.tag = tag
+        self.undo = undo
 
 
 class UndoLog:
     """A LIFO log of (tag, undo_closure) entries."""
 
     def __init__(self) -> None:
-        self._entries: List[Tuple[str, Callable[[], None]]] = []
+        self._entries: List[_Entry] = []
+        # Pending (unresolved) entries by tag; tags are unique within an
+        # epoch, and the index is cleared with the entries on commit.
+        self._pending: Dict[str, _Entry] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -28,28 +52,58 @@ class UndoLog:
     @property
     def tags(self) -> List[str]:
         """Tags of pending entries, oldest first."""
-        return [tag for tag, _undo in self._entries]
+        return [entry.tag for entry in self._entries]
 
     def push(self, tag: str, undo: Callable[[], None]) -> None:
         """Record that ``tag`` (a request id) was applied and can be undone."""
-        self._entries.append((tag, undo))
+        self._entries.append(_Entry(tag, undo))
 
-    def undo_last(self, expected_tag: str) -> None:
+    def push_pending(self, tag: str) -> None:
+        """Record that ``tag`` was *delivered* but not yet executed.
+
+        Keeps the log aligned with the delivery order while the op waits
+        in (or occupies) an execution lane; :meth:`resolve` fills in the
+        inverse when the execution completes.
+        """
+        entry = _Entry(tag, None)
+        self._entries.append(entry)
+        self._pending[tag] = entry
+
+    def resolve(self, tag: str, undo: Callable[[], None]) -> None:
+        """Attach the real inverse to a pending entry.
+
+        A no-op when the entry is gone -- the epoch settled (commit) or
+        the suffix was undone while the op was still in flight; either
+        way the inverse can never legally run.
+        """
+        entry = self._pending.pop(tag, None)
+        if entry is not None:
+            entry.undo = undo
+
+    def undo_last(self, expected_tag: str) -> bool:
         """Undo the most recent entry, verifying it matches ``expected_tag``.
 
         The OAR server only ever undoes a *suffix* of the delivered
         sequence (undo-legality property), so out-of-order undo indicates
-        a protocol bug -- fail loudly rather than corrupt state.
+        a protocol bug -- fail loudly rather than corrupt state.  Returns
+        True when an inverse actually ran, False when the entry was still
+        pending (the op never executed, so there is nothing to revert --
+        the execution engine cancelled it).
         """
         if not self._entries:
             raise RuntimeError(f"undo of {expected_tag!r} with empty undo log")
-        tag, undo = self._entries.pop()
-        if tag != expected_tag:
+        entry = self._entries.pop()
+        if entry.tag != expected_tag:
             raise RuntimeError(
-                f"out-of-order undo: expected {expected_tag!r}, found {tag!r}"
+                f"out-of-order undo: expected {expected_tag!r}, found {entry.tag!r}"
             )
-        undo()
+        self._pending.pop(entry.tag, None)
+        if entry.undo is None:
+            return False
+        entry.undo()
+        return True
 
     def commit(self) -> None:
         """Settle all pending entries (end of epoch): they can never be undone."""
         self._entries.clear()
+        self._pending.clear()

@@ -143,6 +143,80 @@ class TestSingleMigration:
         run.check_all()
 
 
+class TestAutoTriggeredRebalance:
+    def test_sustained_skew_fires_without_a_scheduled_kick(self):
+        # Range router + Zipf packs the head on shard 0; nobody ever
+        # calls rebalance() -- the policy tick must notice the sustained
+        # hot/cold imbalance in the decayed counters and fire the plan
+        # itself (ROADMAP open item: trigger on load, not on the clock).
+        state = {}
+
+        def arm(run):
+            state["coordinator"] = attach_rebalancer(
+                run,
+                auto=True,
+                auto_interval=20.0,
+                auto_ratio=2.0,
+                auto_sustain=2,
+                auto_min_load=5.0,
+                max_moves=4,
+            )
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=4,
+                n_clients=4,
+                requests_per_client=60,
+                machine="kv",
+                workload="zipf",
+                zipf_s=1.5,
+                router="range",
+                n_keys=32,
+                seed=3,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        coordinator = state["coordinator"]
+        assert coordinator.auto_rebalances >= 1
+        assert coordinator.moves_committed > 0
+        # The policy acted on the packed Zipf head: the first plan's
+        # moves come off the hot shard.
+        first_wave = coordinator.journal[: coordinator.moves_committed]
+        assert any(record.src == 0 for record in first_wave)
+        assert len(run.trace.events(kind="rebalance_strike")) >= 2
+        assert len(run.trace.events(kind="rebalance_auto")) >= 1
+        run.check_all()
+
+    def test_balanced_uniform_load_never_fires(self):
+        state = {}
+
+        def arm(run):
+            state["coordinator"] = attach_rebalancer(
+                run, auto=True, auto_interval=20.0, auto_ratio=3.0,
+                auto_sustain=2, auto_min_load=5.0,
+            )
+
+        run = run_sharded_scenario(
+            ShardedScenarioConfig(
+                n_shards=2,
+                n_clients=2,
+                requests_per_client=40,
+                machine="kv",
+                workload="uniform",
+                n_keys=32,
+                seed=4,
+                arm=arm,
+                horizon=50_000.0,
+            )
+        )
+        assert run.all_done()
+        assert state["coordinator"].auto_rebalances == 0
+        assert state["coordinator"].journal == []
+        run.check_all()
+
+
 class TestMigrationVsCrossShard2PC:
     @pytest.mark.parametrize("seed", range(3))
     def test_interleaved_migrations_and_transfers(self, seed):

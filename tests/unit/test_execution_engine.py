@@ -1,0 +1,295 @@
+"""Unit tests for the conflict-aware execution engine (white-box).
+
+Scenario-level behaviour (digest equivalence, undo under phase 2, B13
+scaling) is covered by the property tests and benchmarks; these tests pin
+the engine's scheduling mechanics directly against a bare simulator:
+lane occupancy, conflict chaining, global fencing, read fencing, the
+cancel paths, and the undo log's pending/resolve lifecycle.
+"""
+
+import pytest
+
+from repro.core.execution import ExecutionEngine
+from repro.sim.loop import Simulator
+from repro.statemachine.kvstore import KVStoreMachine
+from repro.statemachine.undo import UndoLog
+
+pytestmark = pytest.mark.unit
+
+
+def make_engine(lanes=2, cost=1.0):
+    sim = Simulator(seed=0)
+    machine = KVStoreMachine()
+    undo_log = UndoLog()
+    engine = ExecutionEngine(
+        machine, lanes=lanes, cost=cost, timer=sim.schedule, undo_log=undo_log
+    )
+    return sim, machine, undo_log, engine
+
+
+class TestInlineFastPath:
+    def test_zero_cost_executes_synchronously(self):
+        sim, machine, undo_log, engine = make_engine(cost=0.0)
+        seen = []
+        engine.submit("r1", ("set", "x", 1), lambda r, lane: seen.append(r), True)
+        assert seen and seen[0].ok  # before any event ran
+        assert machine.state() == {"x": 1}
+        assert engine.inline and engine.idle and engine.backlog == 0
+        # The undo entry is resolved immediately (no pending phase).
+        assert undo_log.tags == ["r1"]
+        assert undo_log.undo_last("r1") is True
+        assert machine.state() == {}
+
+    def test_zero_cost_reads_fire_synchronously(self):
+        sim, machine, _undo, engine = make_engine(cost=0.0)
+        fired = []
+        engine.submit_read(("get", "x"), lambda: fired.append(True))
+        assert fired
+
+    def test_cancel_is_a_noop_inline(self):
+        _sim, _machine, _undo, engine = make_engine(cost=0.0)
+        assert engine.cancel("anything") is True
+
+
+class TestLanesAndConflicts:
+    def test_disjoint_ops_use_all_lanes(self):
+        sim, machine, _undo, engine = make_engine(lanes=3, cost=1.0)
+        done = []
+        for i in range(6):
+            engine.submit(
+                f"r{i}", ("set", f"k{i}", i), lambda r, lane: done.append(lane), True
+            )
+        assert engine.backlog == 6
+        sim.run()
+        assert engine.idle and len(done) == 6
+        assert engine.max_concurrency == 3
+        # 6 disjoint ops over 3 lanes at cost 1.0 finish at t=2, not t=6.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_conflicting_ops_serialize_in_delivery_order(self):
+        sim, machine, _undo, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        for i in range(4):
+            engine.submit(
+                f"r{i}", ("set", "k", i), lambda r, lane, i=i: order.append(i), True
+            )
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert engine.max_concurrency == 1
+        assert sim.now == pytest.approx(4.0)  # a serial chain despite 4 lanes
+        assert machine.state() == {"k": 3}  # last delivered write wins
+
+    def test_global_footprint_fences_the_pipeline(self):
+        sim, machine, _undo, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        engine.submit("a", ("set", "x", 1), lambda r, lane: order.append("a"), True)
+        engine.submit("b", ("set", "y", 2), lambda r, lane: order.append("b"), True)
+        # ("keys",) has no keys_of footprint -> global: waits for x and
+        # y, and the later z-write waits for it.
+        engine.submit("g", ("keys",), lambda r, lane: order.append(("g", r.value)), True)
+        engine.submit("c", ("set", "z", 3), lambda r, lane: order.append("c"), True)
+        sim.run()
+        assert order[:2] in (["a", "b"], ["b", "a"])
+        assert order[2] == ("g", ("x", "y"))  # the keys op saw x,y but not z
+        assert order[3] == "c"
+
+    def test_multi_key_op_joins_both_chains(self):
+        sim, machine, _undo, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        engine.submit("a", ("set", "x", 1), lambda r, lane: order.append("a"), True)
+        engine.submit("b", ("set", "y", 2), lambda r, lane: order.append("b"), True)
+        # cas on x plus a set on y via two entries... use a synthetic
+        # multi-key footprint through a transfer-style op on the kv
+        # machine: emulate with cas(x) after, then an op on both via
+        # ("keys",) is global -- instead check a second-wave x op only
+        # starts after the first x op even when lanes are free.
+        engine.submit("c", ("cas", "x", 1, 9), lambda r, lane: order.append("c"), True)
+        sim.run()
+        assert order.index("a") < order.index("c")
+        assert machine.state() == {"x": 9, "y": 2}
+
+
+class TestReads:
+    def test_read_waits_for_conflicting_write_only(self):
+        sim, machine, _undo, engine = make_engine(lanes=2, cost=1.0)
+        events = []
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: events.append("w1"), True)
+        engine.submit_read(("get", "x"), lambda: events.append(("rx", machine.state().get("x"))))
+        engine.submit_read(("get", "y"), lambda: events.append("ry"))  # no conflict: now
+        assert events == ["ry"]
+        sim.run()
+        assert events == ["ry", "w1", ("rx", 1)]
+
+    def test_reads_do_not_block_writes(self):
+        sim, machine, _undo, engine = make_engine(lanes=2, cost=1.0)
+        events = []
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: events.append("w1"), True)
+        engine.submit_read(("get", "x"), lambda: events.append("read"))
+        engine.submit("w2", ("set", "x", 2), lambda r, lane: events.append("w2"), True)
+        sim.run()
+        # w2 chains on w1 (conflict), not on the read; the read fires at
+        # w1's completion.
+        assert events == ["w1", "read", "w2"]
+
+    def test_global_read_waits_for_everything(self):
+        sim, machine, _undo, engine = make_engine(lanes=4, cost=1.0)
+        events = []
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: events.append("w1"), True)
+        engine.submit("w2", ("set", "y", 2), lambda r, lane: events.append("w2"), True)
+        engine.submit_read(("keys",), lambda: events.append(tuple(sorted(machine.state()))))
+        sim.run()
+        assert events[-1] == ("x", "y")
+
+
+class TestCancelFencing:
+    def test_cancel_waiting_entry_never_executes(self):
+        sim, machine, undo_log, engine = make_engine(lanes=2, cost=1.0)
+        done = []
+        engine.submit("w1", ("set", "k", 1), lambda r, lane: done.append("w1"), True)
+        engine.submit("w2", ("set", "k", 2), lambda r, lane: done.append("w2"), True)
+        assert engine.cancel("w2") is False  # never started
+        assert undo_log.undo_last("w2") is False  # pending: no state effect
+        sim.run()
+        assert done == ["w1"]
+        assert machine.state() == {"k": 1}
+        assert engine.idle
+
+    def test_cancel_in_service_frees_the_lane(self):
+        sim, machine, undo_log, engine = make_engine(lanes=1, cost=5.0)
+        done = []
+        engine.submit("w1", ("set", "k", 1), lambda r, lane: done.append("w1"), True)
+        # The follow-up rides as settled work (undoable=False) so the
+        # undo log holds only w1 -- undo_last is suffix-only.
+        engine.submit("w2", ("set", "j", 2), lambda r, lane: done.append("w2"), False)
+        sim.run(until=1.0)  # w1 in service, w2 queued for the single lane
+        assert engine.cancel("w1") is False
+        assert undo_log.undo_last("w1") is False
+        sim.run()
+        assert done == ["w2"]  # the lane was handed to w2
+        assert machine.state() == {"j": 2}
+        assert engine.cancelled_in_flight == 1
+
+    def test_cancel_completed_entry_defers_to_undo_log(self):
+        sim, machine, undo_log, engine = make_engine(lanes=1, cost=1.0)
+        engine.submit("w1", ("set", "k", 1), lambda r, lane: None, True)
+        sim.run()
+        assert machine.state() == {"k": 1}
+        assert engine.cancel("w1") is True  # executed: revert via the log
+        assert undo_log.undo_last("w1") is True
+        assert machine.state() == {}
+
+    def test_cancelled_tail_still_chains_later_ops_behind_live_older_ones(self):
+        # A (old, slow, live) <- B (cancelled tail) ; C enqueued later
+        # must chain behind A, not start immediately because the tail B
+        # is dead (the prev-walk in _live_tail).
+        sim, machine, undo_log, engine = make_engine(lanes=2, cost=5.0)
+        order = []
+        engine.submit("a", ("set", "k", 1), lambda r, lane: order.append("a"), True)
+        engine.submit("b", ("set", "k", 2), lambda r, lane: order.append("b"), True)
+        sim.run(until=1.0)  # a in service, b waiting on a
+        assert engine.cancel("b") is False
+        assert undo_log.undo_last("b") is False
+        engine.submit("c", ("set", "k", 3), lambda r, lane: order.append("c"), True)
+        sim.run()
+        assert order == ["a", "c"]
+        assert machine.state() == {"k": 3}
+
+    def test_cancelled_global_does_not_hide_live_keyed_writes(self):
+        # Regression: W0 (in lane) and W1 (queued) on key k, then a
+        # global op G; Bad = [G] cancels G while W0/W1 are in flight.
+        # A redo write W2 on k must still chain behind W1 -- losing that
+        # fence let W2 race W1 and finish with the wrong final value.
+        sim, machine, undo_log, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        engine.submit("w0", ("set", "k", "v0"), lambda r, lane: order.append("w0"), True)
+        engine.submit("w1", ("set", "k", "v1"), lambda r, lane: order.append("w1"), True)
+        engine.submit("g", ("keys",), lambda r, lane: order.append("g"), True)
+        assert engine.cancel("g") is False
+        assert undo_log.undo_last("g") is False
+        engine.submit("w2", ("set", "k", "v2"), lambda r, lane: order.append("w2"), True)
+        assert engine.max_concurrency == 1  # w2 never ran beside w1
+        sim.run()
+        assert order == ["w0", "w1", "w2"]
+        assert machine.state() == {"k": "v2"}  # delivered order, not race order
+
+    def test_global_after_cancelled_global_still_fences_older_writes(self):
+        sim, machine, undo_log, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        engine.submit("w0", ("set", "k", "v0"), lambda r, lane: order.append("w0"), True)
+        engine.submit("g1", ("keys",), lambda r, lane: order.append("g1"), True)
+        assert engine.cancel("g1") is False
+        assert undo_log.undo_last("g1") is False
+        # A fresh global op must still wait for the pre-cancel write.
+        engine.submit(
+            "g2", ("keys",), lambda r, lane: order.append(("g2", r.value)), True
+        )
+        sim.run()
+        assert order == ["w0", ("g2", ("k",))]
+
+    def test_read_refenced_past_cancelled_global_waits_for_older_write(self):
+        sim, machine, _undo, engine = make_engine(lanes=4, cost=1.0)
+        events = []
+        engine.submit("w0", ("set", "x", 1), lambda r, lane: events.append("w0"), True)
+        engine.submit("g", ("keys",), lambda r, lane: events.append("g"), True)
+        engine.submit_read(("get", "x"), lambda: events.append(("read", machine.state().get("x"))))
+        assert engine.cancel("g") is False
+        assert events == []  # the re-fenced read still waits on w0
+        sim.run()
+        assert events == ["w0", ("read", 1)]
+
+    def test_cancel_releases_waiting_reads(self):
+        sim, machine, _undo, engine = make_engine(lanes=1, cost=5.0)
+        events = []
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: events.append("w1"), True)
+        engine.submit("w2", ("set", "x", 2), lambda r, lane: events.append("w2"), True)
+        engine.submit_read(("get", "x"), lambda: events.append("read"))
+        assert engine.cancel("w2") is False
+        assert events == []  # the read still waits on w1 (in service)
+        sim.run()
+        assert events == ["w1", "read"]
+
+
+class TestUndoLogLifecycle:
+    def test_resolve_after_commit_is_ignored(self):
+        log = UndoLog()
+        log.push_pending("r1")
+        log.commit()
+        log.resolve("r1", lambda: (_ for _ in ()).throw(AssertionError("ran")))
+        assert len(log) == 0
+
+    def test_pending_keeps_delivery_order_alignment(self):
+        log = UndoLog()
+        log.push_pending("r1")
+        log.push("r2", lambda: None)
+        log.push_pending("r3")
+        assert log.tags == ["r1", "r2", "r3"]
+        calls = []
+        log.resolve("r1", lambda: calls.append("u1"))
+        assert log.undo_last("r3") is False
+        assert log.undo_last("r2") is True
+        assert log.undo_last("r1") is True
+        assert calls == ["u1"]
+
+    def test_out_of_order_undo_still_fails_loudly(self):
+        log = UndoLog()
+        log.push_pending("r1")
+        log.push_pending("r2")
+        with pytest.raises(RuntimeError, match="out-of-order"):
+            log.undo_last("r1")
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        machine = KVStoreMachine()
+        with pytest.raises(ValueError):
+            ExecutionEngine(machine, lanes=0)
+        with pytest.raises(ValueError):
+            ExecutionEngine(machine, cost=-1.0)
+
+    def test_oar_config_validates_exec_knobs(self):
+        from repro.core.server import OARConfig
+
+        with pytest.raises(ValueError):
+            OARConfig(exec_cost=-0.5)
+        with pytest.raises(ValueError):
+            OARConfig(exec_lanes=0)
