@@ -24,10 +24,11 @@ Fig. 1(b) anomaly (baseline)   :func:`count_baseline_inconsistencies`
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.sequences import MessageSequence, as_sequence, common_prefix
 from repro.sim.trace import TraceEvent, TraceLog
+from repro.statemachine.base import SplittableMachine
 
 
 class CheckFailure(AssertionError):
@@ -605,8 +606,11 @@ def check_migration_atomicity(
     every key at the shard that actually owns it.  Pass
     ``quiescent=False`` for runs cut off mid-migration (or frozen by a
     coordinator crash before recovery): an in-flight migration is
-    incomplete, not non-atomic.  Returns the number of distinct
-    migrations begun.
+    incomplete, not non-atomic.  Keys split into fragments
+    (``routing_table.splits``) delegate every per-key obligation to
+    their fragments; see :func:`check_fragment_conservation` for the
+    value-conservation side of splitting.  Returns the number of
+    distinct migrations begun.
     """
     begun = {event["mid"]: event for event in trace.events(kind="mig_begin")}
     prepared = {event["mid"] for event in trace.events(kind="mig_prepared")}
@@ -676,7 +680,44 @@ def check_migration_atomicity(
         for key, _dst, _state in outbound.values()
     }
 
+    # Hot-key splits (repro.statemachine.base.SplittableMachine): once a
+    # split commits, the logical key is legitimately owned by no shard --
+    # the single-owner / no-key-lost obligations transfer to each of its
+    # fragments.  Two transient windows look like a missing key and must
+    # not be declared "state lost": mid-split (split_open adopted, the
+    # authority's epoch not yet bumped -- the fragments already exist in
+    # owner books and escrow under fragment names) and mid-merge
+    # (split_close adopted, split not yet dropped -- the merged key is
+    # owned again while the table still says "split").
+    splits = dict(getattr(routing_table, "splits", None) or {})
+    owned_anywhere: Set[Any] = set()
+    for owned in owner_books.values():
+        owned_anywhere |= set(owned)
+
+    def fragments_alive(key: Any) -> bool:
+        prefix = f"{key}{SplittableMachine.SPLIT_SEP}"
+        for candidate in owned_anywhere | in_flight_keys:
+            text = str(candidate)
+            if text.startswith(prefix) and text[len(prefix):].isdigit():
+                return True
+        return False
+
+    checked: List[Tuple[Any, bool]] = []  # (key, is_fragment)
     for key in key_universe:
+        placements = splits.get(key)
+        if placements is None:
+            checked.append((key, False))
+            continue
+        if key in owned_anywhere:
+            if quiescent:
+                raise CheckFailure(
+                    f"migration atomicity: {key!r} is split per the routing "
+                    f"table but a shard owns the merged key at quiescence"
+                )
+            continue  # mid-merge window: fragments already consumed
+        checked.extend((frag, True) for frag, _dst in placements)
+
+    for key, is_fragment in checked:
         owners = [shard for shard, owned in owner_books.items() if key in owned]
         if len(owners) > 1:
             raise CheckFailure(
@@ -685,6 +726,14 @@ def check_migration_atomicity(
             )
         if not owners:
             if key not in in_flight_keys:
+                if not is_fragment and fragments_alive(key):
+                    if quiescent:
+                        raise CheckFailure(
+                            f"migration atomicity: {key!r} was split into "
+                            f"fragments but the split never committed to "
+                            f"the routing table"
+                        )
+                    continue  # mid-split window: split_open in flight
                 if unknown_shards:
                     continue  # the key may live on a fully-crashed shard
                 raise CheckFailure(
@@ -744,6 +793,153 @@ def check_migration_atomicity(
                 f"to {observed}, expected {expected_total}"
             )
     return len(begun)
+
+
+def check_fragment_conservation(
+    trace: TraceLog,
+    shard_servers: Sequence[Sequence[Any]],
+    routing_table: Any,
+    initial_values: Mapping[Any, int],
+    quiescent: bool = True,
+) -> int:
+    """Splitting a hot key never creates or destroys value.
+
+    For every key that was ever split
+    (:class:`~repro.statemachine.base.SplittableMachine`), the logical
+    value observable at the end of the run -- the sum of its fragment
+    balances across shards, plus fragment value parked in migration or
+    split escrow, plus fragment debits held by in-flight transfers --
+    must *exactly* equal the initially placed value plus the net effect
+    of every **adopted** operation on the key's family: deposits add,
+    withdrawals subtract, transfers move value in or out of the family,
+    and borrows between sibling fragments are family-internal so they
+    cancel.  Exactness across undo/redo is inherited from adoption
+    stability (Prop. 7): an operation that was Opt-delivered and later
+    undone never surfaces an adopted reply, so it contributes neither a
+    delta nor final state.
+
+    Single-shard operations are joined from ``submit`` + ``adopt``
+    events; cross-shard transfers (which never emit a plain ``adopt``)
+    from ``tx_begin`` + ``tx_adopt`` with a ``commit`` outcome; 2PC
+    branch operations (``tx_prepare``/``tx_commit``/``tx_abort``) are
+    excluded by name so nothing is counted twice.
+
+    The equality is only *enforced* on quiescent runs with every shard
+    observable: before quiescence replica state may lag the adoption
+    stream (execution lanes still draining), and a fully-crashed shard
+    hides its fragments' balances without losing them -- both cases
+    return without raising.  Returns the number of families checked.
+    """
+    families: Set[Any] = set(getattr(routing_table, "splits", None) or {})
+    for event in trace.events(kind="split_commit"):
+        families.add(event["key"])
+    if not families:
+        return 0
+
+    sep = SplittableMachine.SPLIT_SEP
+
+    def family_of(key: Any) -> Optional[Any]:
+        if key in families:
+            return key
+        text = str(key)
+        cut = text.rfind(sep)
+        if cut > 0 and text[cut + len(sep):].isdigit():
+            parent = text[:cut]
+            if parent in families:
+                return parent
+        return None
+
+    # -- expected: initial placement + net adopted deltas ---------------
+    expected: Dict[Any, int] = {
+        key: int(initial_values.get(key, 0)) for key in families
+    }
+    op_of = {event["rid"]: tuple(event["op"]) for event in trace.events(kind="submit")}
+    for adoption in trace.events(kind="adopt"):
+        op = op_of.get(adoption["rid"])
+        if op is None:
+            continue
+        result = adoption["value"]
+        if not getattr(result, "ok", False):
+            continue
+        name = op[0]
+        if name == "deposit" and len(op) == 3:
+            family = family_of(op[1])
+            if family is not None:
+                expected[family] += op[2]
+        elif name == "withdraw" and len(op) == 3:
+            family = family_of(op[1])
+            if family is not None:
+                expected[family] -= op[2]
+        elif name == "transfer" and len(op) == 4:
+            src_family, dst_family = family_of(op[1]), family_of(op[2])
+            if src_family != dst_family:
+                if src_family is not None:
+                    expected[src_family] -= op[3]
+                if dst_family is not None:
+                    expected[dst_family] += op[3]
+    tx_op = {event["txid"]: tuple(event["op"]) for event in trace.events(kind="tx_begin")}
+    for event in trace.events(kind="tx_adopt"):
+        if event["outcome"] != "commit":
+            continue
+        op = tx_op.get(event["txid"])
+        if op is None or op[0] != "transfer" or len(op) != 4:
+            continue
+        src_family, dst_family = family_of(op[1]), family_of(op[2])
+        if src_family != dst_family:
+            if src_family is not None:
+                expected[src_family] -= op[3]
+            if dst_family is not None:
+                expected[dst_family] += op[3]
+
+    # -- observed: fragments + escrows, exactly once --------------------
+    machines: Dict[int, Any] = {}
+    installed_books: Dict[int, Any] = {}
+    for shard, servers in enumerate(shard_servers):
+        correct = [server for server in servers if not server.crashed]
+        if not correct:
+            return 0  # a fully-crashed shard hides its fragments
+        machine = correct[0].machine
+        if not hasattr(machine, "fragment_value"):
+            return 0  # machine has no splittable value model
+        machines[shard] = machine
+        installed_books[shard] = machine.installed_migrations()
+
+    observed: Dict[Any, int] = {key: 0 for key in families}
+    for shard, machine in machines.items():
+        for key in machine.owned_keys() or ():
+            family = family_of(key)
+            if family is None:
+                continue
+            value = machine.fragment_value(key)
+            if isinstance(value, int):
+                observed[family] += value
+        for mid, (key, dst, state) in machine.outbound_migrations().items():
+            family = family_of(key)
+            if family is None or not isinstance(state, int):
+                continue
+            if mid in installed_books.get(dst, ()):
+                continue  # install-to-forget window: counted at dst
+            observed[family] += state
+        for _txid, (kind, account, amount) in machine.pending_holds().items():
+            if kind != "debit":
+                continue
+            family = family_of(account)
+            if family is not None:
+                observed[family] += amount
+
+    if quiescent:
+        mismatched = sorted(
+            (key for key in families if expected[key] != observed[key]),
+            key=repr,
+        )
+        if mismatched:
+            detail = ", ".join(
+                f"{key!r}: fragments+escrow sum to {observed[key]}, adopted "
+                f"history implies {expected[key]}"
+                for key in mismatched
+            )
+            raise CheckFailure(f"fragment conservation violated: {detail}")
+    return len(families)
 
 
 # ----------------------------------------------------------------------

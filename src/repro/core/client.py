@@ -630,6 +630,47 @@ class _CrossShardTx:
         )
 
 
+class _ScatterRead:
+    """One merge-on-read over a split key's fragments (client-side)."""
+
+    __slots__ = ("op", "key", "order", "submit_time", "by_frag", "got",
+                 "error", "conservative")
+
+    def __init__(
+        self, op: Tuple[Any, ...], key: Any, order: Tuple[Any, ...],
+        submit_time: float,
+    ) -> None:
+        self.op = op
+        self.key = key
+        self.order = order  # fragment keys, in fragment-index order
+        self.submit_time = submit_time
+        self.by_frag: Dict[Any, Any] = {}
+        self.got = 0
+        self.error: Optional[str] = None
+        self.conservative = True
+
+
+class _BudgetWithdraw:
+    """One budget-limited op on a fragment, with its borrow bookkeeping."""
+
+    __slots__ = ("op", "key", "frag", "frag_op", "frags", "submit_time",
+                 "attempts", "tried", "shortfall")
+
+    def __init__(
+        self, op: Tuple[Any, ...], key: Any, frag: Any,
+        frag_op: Tuple[Any, ...], frags: Tuple[Any, ...], submit_time: float,
+    ) -> None:
+        self.op = op
+        self.key = key
+        self.frag = frag
+        self.frag_op = frag_op
+        self.frags = frags
+        self.submit_time = submit_time
+        self.attempts = 0
+        self.tried: Set[Any] = set()
+        self.shortfall = 0
+
+
 class ShardedOARClient(OARClient):
     """A client for a sharded OAR deployment (``repro.sharding``).
 
@@ -643,6 +684,32 @@ class ShardedOARClient(OARClient):
     totally ordered by its shard's sequencer and adopted under the usual
     weighted-quorum rule -- the cross-shard path adds no new consensus
     machinery, only a state machine on top of adopted outcomes.
+
+    When the routing table carries **hot-key splits** and a ``splitter``
+    (a :class:`~repro.statemachine.base.SplittableMachine` subclass) is
+    configured, operations on a split key are rewritten at submit time:
+
+    * commutative ops (``split_kind`` ``"local"``) go to one fragment,
+      chosen round-robin per key, so load spreads across the fragments'
+      shards and execution lanes;
+    * budget-limited ops (``"budget"``) go to one fragment and, when the
+      fragment's local balance falls short (the machine reports
+      ``("short", available)``), the client **borrows**: it submits an
+      ordinary transfer from a sibling fragment (riding the cross-shard
+      2PC when the donor lives elsewhere) and retries the op on the
+      enriched fragment, rotating donors until one covers the shortfall
+      or all have been tried;
+    * whole-value reads (``"read"``) **scatter-gather**: one read per
+      fragment, combined with the machine's ``merge_read`` and surfaced
+      as a single synthesized adoption (``position``/``epoch`` ``-1``,
+      like cross-shard transactions);
+    * multi-key ops have each split key rewritten onto one fragment
+      (a short transfer source simply fails, like any overdraft).
+
+    A client that has not yet synced past the split's epoch routes to
+    the logical key, gets WrongShard, and learns the split through the
+    ordinary sync-and-retry loop -- splits need no new staleness
+    machinery.
 
     Parameters
     ----------
@@ -683,6 +750,13 @@ class ShardedOARClient(OARClient):
         snapshots these; decay makes the snapshot reflect *recent*
         traffic instead of all-time totals, so a key that went cold is
         not migrated on stale evidence.  ``None`` disables decay.
+    splitter:
+        The deployment's :class:`~repro.statemachine.base.
+        SplittableMachine` subclass (the machine *class*, not an
+        instance), enabling the fragment rewrite / borrow / merge-on-read
+        behaviour described above for keys the routing table marks as
+        split.  ``None`` (the default) leaves split keys un-rewritten:
+        ops on them WrongShard until the key is unsplit.
     """
 
     def __init__(
@@ -703,6 +777,7 @@ class ShardedOARClient(OARClient):
         is_read_only: Optional[Callable[[Tuple[Any, ...]], bool]] = None,
         read_retry_delay: float = 5.0,
         load_half_life: Optional[float] = 250.0,
+        splitter: Optional[type] = None,
     ) -> None:
         groups = tuple(tuple(group) for group in shard_groups)
         if router.n_shards != len(groups):
@@ -754,6 +829,23 @@ class ShardedOARClient(OARClient):
         self.cross_shard_aborted = 0
         self.redirects = 0
         self.redirects_exhausted = 0
+        # -- hot-key splitting ------------------------------------------
+        self.splitter = splitter
+        #: key -> round-robin cursor over its fragments.
+        self._split_rr: Dict[Any, int] = {}
+        self._scatter_counter = itertools.count()
+        #: logical scatter-read id -> merge state.
+        self._scatter: Dict[str, _ScatterRead] = {}
+        #: physical branch rid -> (scatter id, fragment key).
+        self._scatter_branch: Dict[str, Tuple[str, Any]] = {}
+        #: budget-op rid -> its borrow context.
+        self._budget_of: Dict[str, _BudgetWithdraw] = {}
+        #: borrow-transfer rid/txid -> the budget context it serves.
+        self._borrows: Dict[str, _BudgetWithdraw] = {}
+        self.split_rewrites = 0
+        self.split_reads = 0
+        self.borrows = 0
+        self.borrows_failed = 0
 
     @property
     def outstanding(self) -> int:
@@ -799,6 +891,10 @@ class ShardedOARClient(OARClient):
         record = self.key_load.record
         for key in keys:
             record(key)
+        if self.splitter is not None and self.router.splits:
+            handled = self._submit_split(op, keys)
+            if handled is not None:
+                return handled
         shards = self._shards_for_keys(keys)
         if len(shards) == 1:
             if self._wants_read_path(op):
@@ -859,6 +955,206 @@ class ShardedOARClient(OARClient):
         return txid
 
     # ------------------------------------------------------------------
+    # Hot-key splitting (repro.statemachine.base.SplittableMachine)
+    # ------------------------------------------------------------------
+
+    def _submit_split(self, op: Tuple[Any, ...], keys: Tuple[Any, ...]) -> Optional[str]:
+        """Rewrite an op touching split keys; None when none are split."""
+        splits = self.router.splits
+        split_keys = [key for key in keys if key in splits]
+        if not split_keys:
+            return None
+        sp = self.splitter
+        if len(keys) == 1:
+            key = keys[0]
+            placements = self.router.fragments_of(key)
+            kind = sp.split_kind(op)
+            if kind == "read":
+                return self._scatter_read(op, key, placements)
+            if kind in ("local", "budget"):
+                frag = self._next_fragment(key, placements)
+                frag_op = sp.fragment_op(op, key, frag)
+                self.split_rewrites += 1
+                self.env.trace(
+                    "split_rewrite", op=op, frag=frag, rewrite=kind
+                )
+                rid = self.submit(frag_op)
+                if kind == "budget":
+                    self._budget_of[rid] = _BudgetWithdraw(
+                        op, key, frag, frag_op,
+                        tuple(f for f, _shard in placements), self.env.now,
+                    )
+                return rid
+            return None  # not rewritable: WrongShard until unsplit
+        # Multi-key op: substitute each split key with one of its
+        # fragments and route the rewritten op normally (possibly as a
+        # cross-shard transaction).  A budget-short fragment here just
+        # fails the op, like any overdraft.
+        new_op = op
+        for key in split_keys:
+            frag = self._next_fragment(key, self.router.fragments_of(key))
+            new_op = sp.fragment_op(new_op, key, frag)
+        self.split_rewrites += 1
+        self.env.trace("split_rewrite", op=op, rewritten=new_op, rewrite="multi")
+        return self.submit(new_op)
+
+    def _next_fragment(self, key: Any, placements: Tuple[Tuple[Any, int], ...]) -> Any:
+        """Round-robin fragment choice: spread commutative load evenly."""
+        cursor = self._split_rr.get(key, 0)
+        self._split_rr[key] = cursor + 1
+        frag, _shard = placements[cursor % len(placements)]
+        return frag
+
+    def _scatter_read(
+        self, op: Tuple[Any, ...], key: Any,
+        placements: Tuple[Tuple[Any, int], ...],
+    ) -> str:
+        """Merge-on-read: one branch per fragment, combined on adoption."""
+        sid = f"{self.pid}-sr{next(self._scatter_counter)}"
+        order = tuple(frag for frag, _shard in placements)
+        self._scatter[sid] = _ScatterRead(op, key, order, self.env.now)
+        self.split_reads += 1
+        self.env.trace("split_read", rid=sid, op=op, fragments=len(order))
+        sp = self.splitter
+        for frag in order:
+            branch_rid = self.submit(sp.fragment_op(op, key, frag))
+            self._scatter_branch[branch_rid] = (sid, frag)
+        return sid
+
+    def _on_scatter_branch(self, sid: str, frag: Any, adopted: AdoptedReply) -> None:
+        scatter = self._scatter[sid]
+        value = adopted.value
+        if isinstance(value, OpResult) and value.ok:
+            scatter.by_frag[frag] = value.value
+        elif scatter.error is None:
+            scatter.error = (
+                value.error if isinstance(value, OpResult) else repr(value)
+            )
+        scatter.got += 1
+        scatter.conservative = scatter.conservative and adopted.conservative
+        if scatter.got < len(scatter.order):
+            return
+        del self._scatter[sid]
+        if scatter.error is None:
+            values = tuple(scatter.by_frag[f] for f in scatter.order)
+            result = OpResult(
+                ok=True, value=self.splitter.merge_read(scatter.op, values)
+            )
+        else:
+            result = OpResult(ok=False, error=f"split read: {scatter.error}")
+        merged = AdoptedReply(
+            rid=sid,
+            value=result,
+            position=-1,
+            epoch=-1,
+            weight=(),
+            conservative=scatter.conservative,
+            submit_time=scatter.submit_time,
+            adopt_time=self.env.now,
+        )
+        self.env.trace(
+            "split_read_adopt",
+            rid=sid,
+            op=scatter.op,
+            value=result.value if result.ok else result.error,
+            latency=merged.latency,
+        )
+        OARClient._record_adoption(self, merged)
+
+    def _on_budget(self, ctx: _BudgetWithdraw, adopted: AdoptedReply) -> bool:
+        """Borrow-and-retry on a fragment shortfall; False = surface."""
+        value = adopted.value
+        short = (
+            isinstance(value, OpResult)
+            and not value.ok
+            and isinstance(value.value, tuple)
+            and value.value
+            and value.value[0] == "short"
+        )
+        if not short:
+            return False
+        amount = ctx.op[-1]
+        available = value.value[1]
+        if not isinstance(amount, int) or not isinstance(available, int):
+            return False
+        ctx.shortfall = amount - available
+        return self._try_borrow(ctx)
+
+    def _try_borrow(self, ctx: _BudgetWithdraw) -> bool:
+        donors = [f for f in ctx.frags if f != ctx.frag and f not in ctx.tried]
+        if not donors or ctx.attempts >= len(ctx.frags) - 1:
+            return False
+        donor = donors[0]
+        ctx.tried.add(donor)
+        ctx.attempts += 1
+        self.borrows += 1
+        self.env.trace(
+            "split_borrow",
+            key=ctx.key,
+            donor=donor,
+            frag=ctx.frag,
+            amount=ctx.shortfall,
+            attempt=ctx.attempts,
+        )
+        # An ordinary totally-ordered transfer between fragments: the
+        # routing layer turns it into a cross-shard 2PC when the donor
+        # lives on another shard, so borrow atomicity is the transfer's.
+        rid = self.submit(("transfer", donor, ctx.frag, ctx.shortfall))
+        self._borrows[rid] = ctx
+        return True
+
+    def _on_borrow(self, ctx: _BudgetWithdraw, adopted: AdoptedReply) -> None:
+        value = adopted.value
+        if isinstance(value, OpResult) and value.ok:
+            # Funds arrived: retry the original op on the same fragment.
+            # The ordered pipeline serializes the retry after the
+            # transfer's credit, so the retry sees the borrowed funds.
+            rid = self.submit(ctx.frag_op)
+            self._budget_of[rid] = ctx
+            pending = self._pending.get(rid)
+            if pending is not None:
+                # Latency continuity: the whole borrow chain is one
+                # logical operation, timed from its first submission.
+                pending.submit_time = ctx.submit_time
+            return
+        self.borrows_failed += 1
+        if self._try_borrow(ctx):
+            return  # rotate to the next donor
+        # Every donor was short too: run the op once more so the
+        # terminal overdraft surfaces through the normal adoption path.
+        rid = self.submit(ctx.frag_op)
+        pending = self._pending.get(rid)
+        if pending is not None:
+            pending.submit_time = ctx.submit_time
+
+    def _intercept_adoption(self, adopted: AdoptedReply) -> bool:
+        """Split bookkeeping hooks; True when the adoption was consumed."""
+        branch = self._scatter_branch.pop(adopted.rid, None)
+        if branch is not None:
+            self._on_scatter_branch(branch[0], branch[1], adopted)
+            return True
+        ctx = self._budget_of.pop(adopted.rid, None)
+        if ctx is not None and self._on_budget(ctx, adopted):
+            return True
+        borrow = self._borrows.pop(adopted.rid, None)
+        if borrow is not None:
+            self._on_borrow(borrow, adopted)
+            return True
+        return False
+
+    def _remap_logical(self, old_id: str, new_id: str) -> None:
+        """Carry split bookkeeping across a redirect's rid change."""
+        branch = self._scatter_branch.pop(old_id, None)
+        if branch is not None:
+            self._scatter_branch[new_id] = branch
+        ctx = self._budget_of.pop(old_id, None)
+        if ctx is not None:
+            self._budget_of[new_id] = ctx
+        borrow = self._borrows.pop(old_id, None)
+        if borrow is not None:
+            self._borrows[new_id] = borrow
+
+    # ------------------------------------------------------------------
     # WrongShard redirects (live rebalancing, repro.sharding.rebalance)
     # ------------------------------------------------------------------
 
@@ -900,12 +1196,19 @@ class ShardedOARClient(OARClient):
             attempt=attempts + 1,
             table_epoch=self.route_authority.epoch,
         )
+        # Sync immediately, not just at retry time: a WrongShard reply is
+        # proof the local table is stale, and every operation submitted
+        # between now and the (delayed) retry would otherwise chase the
+        # same wrong shard and pile onto its queue.  The retry syncs
+        # again in case the authority moved during the pause.
+        self.router.sync_from(self.route_authority)
         self._redirect_pending += 1
 
         def retry() -> None:
             self._redirect_pending -= 1
             self.router.sync_from(self.route_authority)
             new_id = self.submit(op)
+            self._remap_logical(old_id, new_id)
             # submit() counted the op's keys into key_load again, but a
             # retry is not new demand: left in, a key under migration
             # (the one case that redirects) would look ever hotter to
@@ -955,6 +1258,8 @@ class ShardedOARClient(OARClient):
             ):
                 return  # retried; never surfaced to the driver
             self._redirect_attempts.pop(adopted.rid, None)
+            if self._intercept_adoption(adopted):
+                return  # split scatter/borrow machinery consumed it
             super()._record_adoption(adopted)
             return
         self._op_of.pop(adopted.rid, None)
@@ -1051,4 +1356,6 @@ class ShardedOARClient(OARClient):
             shards=tx.shards,
             latency=adopted.latency,
         )
+        if self._intercept_adoption(adopted):
+            return  # a borrow transfer ran as a cross-shard tx
         super()._record_adoption(adopted)

@@ -11,7 +11,10 @@ disjoint commands commute.
 
 The engine owns ``exec_lanes`` parallel worker lanes, each a serial
 pipeline charging ``exec_cost`` simulated time per operation (mirroring
-the ``order_cost``/``read_cost`` service models).  Submitted operations
+the ``order_cost``/``read_cost`` service models), scaled per op by the
+machine's :meth:`~repro.statemachine.base.StateMachine.exec_cost_of`
+weight (migrations install whole key states, ``keys`` scans the store;
+the default weight 1.0 keeps the flat model).  Submitted operations
 are dependency-chained by their *conflict footprint*
 (:meth:`~repro.statemachine.base.StateMachine.conflict_footprint`, keyed
 off ``keys_of``): an op waits for the latest earlier op whose footprint
@@ -66,6 +69,7 @@ class _Entry:
         "rid",
         "op",
         "footprint",
+        "weight",
         "seq",
         "waiting",
         "dependents",
@@ -87,10 +91,12 @@ class _Entry:
         on_done: Any,
         undoable: bool,
         read: bool = False,
+        weight: float = 1.0,
     ) -> None:
         self.rid = rid
         self.op = op
         self.footprint = footprint
+        self.weight = weight
         self.seq = -1  # submission order, stamped by _link
         self.waiting = 0
         self.dependents: List[_Entry] = []
@@ -160,6 +166,7 @@ class ExecutionEngine:
         self._timer = timer
         self.undo_log = undo_log
         self._conflict_footprint = type(machine).conflict_footprint
+        self._exec_cost_of = type(machine).exec_cost_of
         # rid -> live undoable entry (cancel's lookup; completed entries
         # leave the map, so "absent" means "already executed").
         self._by_rid: Dict[str, _Entry] = {}
@@ -228,7 +235,10 @@ class ExecutionEngine:
             self.executed += 1
             on_done(result, 0)
             return
-        entry = _Entry(rid, op, self._footprint(op), on_done, undoable)
+        entry = _Entry(
+            rid, op, self._footprint(op), on_done, undoable,
+            weight=self._exec_cost_of(op),
+        )
         if undoable:
             self.undo_log.push_pending(rid)
             self._by_rid[rid] = entry
@@ -363,7 +373,9 @@ class ExecutionEngine:
             self._in_service += 1
             if self._in_service > self.max_concurrency:
                 self.max_concurrency = self._in_service
-            entry.timer = self._timer(self.cost, lambda e=entry: self._complete(e))
+            entry.timer = self._timer(
+                self.cost * entry.weight, lambda e=entry: self._complete(e)
+            )
 
     def _complete(self, entry: _Entry) -> None:
         entry.timer = None

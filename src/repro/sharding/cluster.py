@@ -49,6 +49,7 @@ from repro.statemachine import (
     BankMachine,
     CounterMachine,
     KVStoreMachine,
+    SplittableMachine,
     StackMachine,
     StateMachine,
 )
@@ -56,6 +57,7 @@ from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workload.generators import (
     counter_ops,
     cross_shard_bank_ops,
+    hot_key_bank_ops,
     hot_shift_kv_ops,
     kv_ops,
     read_heavy_bank_ops,
@@ -65,7 +67,7 @@ from repro.workload.generators import (
 )
 
 SHARDED_MACHINES = ("kv", "bank", "counter", "stack")
-WORKLOADS = ("uniform", "zipf", "hotshift", "cross", "readheavy")
+WORKLOADS = ("uniform", "zipf", "hotshift", "cross", "readheavy", "hotkey")
 
 #: Machines with per-key state: their sharded deployments carry the
 #: key-ownership books and support live migration + the migration
@@ -90,13 +92,18 @@ class ShardedScenarioConfig:
     #: across the key space every ``shift_every`` ops -- the live-
     #: rebalancing stress), "cross" (bank transfers, cross-shard mix),
     #: "readheavy" (kv or bank, Zipf-skewed, ``read_ratio`` reads --
-    #: the replica-local read-path mix of benchmark B12).
+    #: the replica-local read-path mix of benchmark B12), "hotkey"
+    #: (bank deposits/withdrawals/balances with ``hot_ratio`` of all
+    #: traffic on one account -- the key-splitting stress of B14; its
+    #: deposits break money-supply conservation, so the run swaps the
+    #: conserved-total checks for ``check_fragment_conservation``).
     workload: str = "uniform"
     n_keys: int = 32
     zipf_s: float = 1.2
     shift_every: int = 150
     cross_ratio: float = 0.3
     read_ratio: float = 0.9
+    hot_ratio: float = 0.8
     accounts_per_shard: int = 4
     initial_balance: int = 1_000
 
@@ -131,6 +138,11 @@ class ShardedScenarioConfig:
     driver: str = "closed"
     open_rate: float = 0.2
     think_time: float = 0.0
+    #: Simulated time at which the drivers begin submitting.  A warm-up
+    #: window lets pre-arranged topology work (scheduled migrations or
+    #: key splits via ``arm``) commit before traffic measures against
+    #: it, instead of queueing stale-routed requests behind the change.
+    driver_start_at: float = 0.0
     retry_interval: Optional[float] = None
 
     fault_schedule: Optional[FaultSchedule] = None
@@ -326,6 +338,26 @@ class ShardedRun:
                 expected_total=self.initial_total,
                 quiescent=quiescent and migrations_settled,
             )
+        if self.config.machine == "bank":
+            # Hot-key splitting: every account that was ever split must
+            # conserve its logical value exactly (fragments + escrows ==
+            # initial placement + net adopted deltas).  A no-op when the
+            # run never split anything.
+            checkers.check_fragment_conservation(
+                self.trace,
+                self.shards,
+                self.routing_table,
+                initial_values={
+                    account: self.config.initial_balance
+                    for account in self.key_universe
+                },
+                quiescent=quiescent
+                and all(
+                    record.terminal
+                    for coordinator in self.rebalancers
+                    for record in coordinator.journal
+                ),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +421,11 @@ def _make_ops(
             return read_heavy_bank_ops(
                 rng, accounts_by_shard, read_ratio=config.read_ratio
             )
+        if config.workload == "hotkey":
+            # key_universe[0] is the hot account; the generator's own
+            # 20% read mix applies (config.read_ratio is the readheavy
+            # knob and defaults far too read-heavy for a write stress).
+            return hot_key_bank_ops(rng, key_universe, hot_ratio=config.hot_ratio)
         return cross_shard_bank_ops(rng, accounts_by_shard, cross_ratio=0.0)
     if config.workload == "zipf":
         return zipfian_kv_ops(rng, key_universe, s=config.zipf_s)
@@ -416,6 +453,8 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
         )
     if config.workload == "cross" and config.machine != "bank":
         raise ValueError("the cross-shard workload requires the bank machine")
+    if config.workload == "hotkey" and config.machine != "bank":
+        raise ValueError("the hot-key workload requires the bank machine")
 
     sim = Simulator(seed=config.seed)
     latency = config.latency if config.latency is not None else ConstantLatency(1.0)
@@ -488,6 +527,11 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
             read_mode=read_mode,
             is_read_only=machine_cls.is_read_only,
             load_half_life=config.load_half_life,
+            splitter=(
+                machine_cls
+                if issubclass(machine_cls, SplittableMachine)
+                else None
+            ),
         )
         clients.append(client)
         network.add_process(client)
@@ -505,7 +549,7 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
                 ops,
                 total=config.requests_per_client,
                 think_time=config.think_time,
-                start_at=0.0,
+                start_at=config.driver_start_at,
             )
         elif config.driver == "open":
             driver = OpenLoopDriver(
@@ -515,13 +559,17 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
                 total=config.requests_per_client,
                 rate=config.open_rate,
                 rng=sim.child_rng(f"arrivals/{client.pid}"),
+                start_at=config.driver_start_at,
             )
         else:
             raise ValueError(f"unknown driver kind: {config.driver}")
         drivers.append(driver)
 
     initial_total = None
-    if config.machine == "bank":
+    if config.machine == "bank" and config.workload != "hotkey":
+        # The hot-key workload's deposits/withdrawals change the money
+        # supply, so the conserved-total checks do not apply there --
+        # check_fragment_conservation covers its split accounts instead.
         initial_total = config.initial_balance * len(key_universe)
 
     return ShardedRun(

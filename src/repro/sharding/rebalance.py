@@ -57,12 +57,23 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.client import AdoptedReply, ShardedOARClient
 from repro.sharding.router import RoutingTable
-from repro.statemachine.base import OpResult
+from repro.statemachine.base import OpResult, SplittableMachine
 
 
 @dataclass
@@ -81,6 +92,53 @@ class MigrationRecord:
     dst: int
     phase: str = "planned"
     state: Any = None
+    attempts: int = 0
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in ("done", "aborted")
+
+
+@dataclass
+class SplitRecord:
+    """One hot-key split's journal entry.
+
+    ``phase`` walks ``planned -> splitting -> installing -> forgetting ->
+    done`` (or ``aborted``): ``split_open`` on the source exports the key
+    as N fragment states (fragment 0 installed locally, the rest parked
+    in the migration escrow), each escrowed fragment is ``mig_install``ed
+    at its destination, the routing table commits the whole placement in
+    one epoch bump, and the escrow entries are forgotten.
+    """
+
+    sid: str
+    key: Any
+    frags: Tuple[Any, ...]
+    dsts: Tuple[int, ...]
+    src: int
+    phase: str = "planned"
+    shipped: Tuple[Tuple[str, Any, int, Any], ...] = ()
+    pending: Set[str] = field(default_factory=set)
+    attempts: int = 0
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in ("done", "aborted")
+
+
+@dataclass
+class UnsplitRecord:
+    """One merge's journal entry: stray fragments are first migrated home
+    by ordinary :class:`MigrationRecord` moves queued ahead of this one,
+    then a single ``split_close`` on the home shard recombines them."""
+
+    sid: str
+    key: Any
+    frags: Tuple[Any, ...]
+    home: int
+    phase: str = "planned"
     attempts: int = 0
     error: str = ""
 
@@ -111,6 +169,11 @@ class RebalanceCoordinator:
     retry_delay / max_attempts:
         Pacing for ``mig_prepare`` retries when the source vetoes the
         export (e.g. a pending cross-shard escrow hold on the account).
+    splitter:
+        The deployment's :class:`~repro.statemachine.base.
+        SplittableMachine` subclass, used by :meth:`split_key` to derive
+        fragment key names; defaults to the base class (which all
+        bundled splittable machines inherit the naming scheme from).
     """
 
     def __init__(
@@ -120,21 +183,29 @@ class RebalanceCoordinator:
         observed_clients: Iterable[Any] = (),
         retry_delay: float = 10.0,
         max_attempts: int = 5,
+        splitter: type = SplittableMachine,
     ) -> None:
         self.client = client
         self.authority = authority
         self.observed_clients = list(observed_clients)
         self.retry_delay = retry_delay
         self.max_attempts = max_attempts
+        self.splitter = splitter
         #: Every migration this coordinator ever started, in order; hand
         #: this to a recovery coordinator's :meth:`resume` after a crash.
-        self.journal: List[MigrationRecord] = []
+        self.journal: List[Any] = []
         self.moves_committed = 0
         self.moves_aborted = 0
+        self.splits_committed = 0
+        self.splits_aborted = 0
+        self.unsplits_committed = 0
+        self.auto_splits = 0
         self._counter = itertools.count()
-        self._queue: Deque[MigrationRecord] = deque()
-        self._active: Optional[MigrationRecord] = None
-        self._stage_of: Dict[str, str] = {}  # rid -> protocol stage
+        self._queue: Deque[Any] = deque()
+        self._active: Optional[Any] = None
+        #: rid -> (protocol stage, stage context); the context carries the
+        #: fragment mid for the split fan-out stages, None elsewhere.
+        self._stage_of: Dict[str, Tuple[str, Any]] = {}
         self._resuming: Set[str] = set()  # mids adopted from a crashed peer
         #: Scheduled-but-not-yet-fired rebalances (attach_rebalancer's
         #: ``start_at``); the coordinator is not ``done`` while one is
@@ -256,6 +327,72 @@ class RebalanceCoordinator:
         self._pump()
         return record
 
+    def split_key(
+        self, key: Any, n: int = 2, dsts: Optional[Sequence[int]] = None
+    ) -> SplitRecord:
+        """Enqueue a hot-key split of ``key`` into ``n`` fragments.
+
+        ``dsts`` is the per-fragment shard plan; fragment 0 always stays
+        on the key's current shard (``split_open`` installs it there), so
+        ``dsts[0]`` must be the source.  The default spreads fragments
+        round-robin over the shards starting at the source -- with
+        ``n >= n_shards`` every shard gets at least one fragment.
+        """
+        if n < 2:
+            raise ValueError("a split needs at least two fragments")
+        if key in self.authority.splits:
+            raise ValueError(f"{key!r} is already split")
+        src = self.authority.shard_of(key)
+        if dsts is None:
+            dsts = tuple((src + i) % self.authority.n_shards for i in range(n))
+        else:
+            dsts = tuple(dsts)
+        if len(dsts) != n:
+            raise ValueError(f"{n} fragments need {n} destinations, got {len(dsts)}")
+        if dsts[0] != src:
+            raise ValueError(
+                f"fragment 0 stays on the source shard {src}, plan says {dsts[0]}"
+            )
+        record = SplitRecord(
+            sid=f"{self.client.pid}-s{next(self._counter)}",
+            key=key,
+            frags=self.splitter.fragment_keys(key, n),
+            dsts=dsts,
+            src=src,
+        )
+        self.journal.append(record)
+        self._queue.append(record)
+        self._pump()
+        return record
+
+    def unsplit_key(self, key: Any) -> UnsplitRecord:
+        """Enqueue the merge of a split key back into one logical key.
+
+        Fragments that migrated away from fragment 0's current shard are
+        first moved home by ordinary migrations queued ahead of the
+        merge (the one-at-a-time queue serializes them), then a single
+        ``split_close`` on the home shard recombines the states and the
+        table unsplits in one epoch bump.
+        """
+        placements = self.authority.fragments_of(key)
+        if placements is None:
+            raise ValueError(f"{key!r} is not split")
+        frags = tuple(frag for frag, _shard in placements)
+        home = self.authority.shard_of(frags[0])
+        for frag in frags:
+            if self.authority.shard_of(frag) != home:
+                self.migrate(frag, home)
+        record = UnsplitRecord(
+            sid=f"{self.client.pid}-u{next(self._counter)}",
+            key=key,
+            frags=frags,
+            home=home,
+        )
+        self.journal.append(record)
+        self._queue.append(record)
+        self._pump()
+        return record
+
     def schedule(self, when: float, action: Callable[[], None]) -> None:
         """Run ``action`` (typically migrate/rebalance calls) at absolute
         simulated time ``when``, holding the run open until it fires.
@@ -287,6 +424,7 @@ class RebalanceCoordinator:
         sustain: int = 2,
         min_load: float = 10.0,
         max_moves: int = 8,
+        split_n: int = 0,
     ) -> None:
         """Fire rebalances automatically on *sustained* load imbalance.
 
@@ -306,6 +444,14 @@ class RebalanceCoordinator:
         uses a raw timer on purpose (unlike :meth:`schedule`): a pending
         *policy poll* must not hold the run open -- only actual planned
         work does.
+
+        ``split_n > 0`` arms **auto-splitting**: when the sustained
+        imbalance is caused by a single key so dominant that
+        :meth:`plan_moves` finds nothing to move (no candidate is
+        lighter than the hot/cold gap), the hottest unsplit key is split
+        into ``split_n`` fragments instead of giving up --
+        migration moves heat around, splitting is the only lever that
+        *divides* it.
         """
         if check_interval <= 0:
             raise ValueError("check_interval must be > 0")
@@ -313,12 +459,15 @@ class RebalanceCoordinator:
             raise ValueError("ratio must be > 1 (hot/cold imbalance factor)")
         if sustain < 1:
             raise ValueError("sustain must be >= 1")
+        if split_n == 1 or split_n < 0:
+            raise ValueError("split_n must be 0 (disabled) or >= 2")
         self._auto = {
             "interval": check_interval,
             "ratio": ratio,
             "sustain": sustain,
             "min_load": min_load,
             "max_moves": max_moves,
+            "split_n": split_n,
         }
         self._auto_strikes = 0
         self._schedule_auto_tick()
@@ -386,17 +535,65 @@ class RebalanceCoordinator:
                 "rebalance_auto", moves=len(records), ratio=round(ratio, 3)
                 if ratio != float("inf") else "inf",
             )
+        elif auto["split_n"]:
+            # Sustained imbalance but nothing movable: a single dominant
+            # key defeats the planner (its load exceeds the hot/cold
+            # gap).  Split it.
+            self._auto_split(load, auto)
 
-    def resume(self, journal: Iterable[MigrationRecord]) -> None:
+    def _auto_split(self, load: Dict[Any, float], auto: Dict[str, Any]) -> None:
+        parent_of = self.splitter.parent_key
+        shard_load: Dict[int, float] = {}
+        shard_of = self.authority.shard_of
+        for key, count in load.items():
+            shard = shard_of(key)
+            shard_load[shard] = shard_load.get(shard, 0.0) + count
+        hot_shard = max(shard_load, key=lambda s: (shard_load[s], -s))
+        candidates = [
+            (count, key)
+            for key, count in load.items()
+            if count >= auto["min_load"]
+            and shard_of(key) == hot_shard  # split heat, never a cold key
+            and key not in self.authority.splits
+            and parent_of(key) is None  # never split a fragment
+        ]
+        if not candidates:
+            return
+        count, key = max(candidates, key=lambda item: (item[0], str(item[1])))
+        self.auto_splits += 1
+        self.env.trace(
+            "split_auto", key=key, load=round(count, 3), n=auto["split_n"]
+        )
+        self.split_key(key, auto["split_n"])
+
+    def resume(self, journal: Iterable[Any]) -> None:
         """Adopt a crashed coordinator's journal and finish its work.
 
-        Terminal records are kept for the books; every other record is
-        re-driven from a ``mig_status`` probe so the recovery is
-        idempotent no matter where the crash hit.
+        Terminal records are kept for the books; every other migration
+        record is re-driven from a ``mig_status`` probe so the recovery
+        is idempotent no matter where the crash hit.  Split records
+        resume from the phases whose effects are replicated: a split
+        that never opened restarts, one that already committed the table
+        re-drives the escrow GC; a split caught *between* open and
+        table-commit is surfaced as an abort (its fragment states are
+        safe in the source's replicated escrow, where the conservation
+        checker accounts for them) rather than silently half-finished.
         """
         for record in journal:
             self.journal.append(record)
             if record.terminal:
+                continue
+            if isinstance(record, SplitRecord):
+                if record.phase == "planned" or record.key in self.authority.splits:
+                    self._queue.append(record)
+                else:
+                    record.phase = "aborted"
+                    record.error = "coordinator crashed mid-split"
+                    self.splits_aborted += 1
+                continue
+            if isinstance(record, UnsplitRecord):
+                record.phase = "planned"
+                self._queue.append(record)
                 continue
             self._resuming.add(record.mid)
             self._queue.append(record)
@@ -416,7 +613,13 @@ class RebalanceCoordinator:
         self._active = None
         self._pump()
 
-    def _start(self, record: MigrationRecord) -> None:
+    def _start(self, record: Any) -> None:
+        if isinstance(record, SplitRecord):
+            self._start_split(record)
+            return
+        if isinstance(record, UnsplitRecord):
+            self._start_unsplit(record)
+            return
         if record.mid in self._resuming:
             self.env.trace(
                 "mig_resume", mid=record.mid, key=record.key, from_phase=record.phase
@@ -438,24 +641,29 @@ class RebalanceCoordinator:
             "prepare",
         )
 
-    def _submit(self, op: Tuple[Any, ...], shard: int, stage: str) -> None:
+    def _submit(
+        self, op: Tuple[Any, ...], shard: int, stage: str, ctx: Any = None
+    ) -> None:
         rid = self.client.submit_to_shard(op, shard)
-        self._stage_of[rid] = stage
+        self._stage_of[rid] = (stage, ctx)
 
     def _on_adopt(self, adopted: AdoptedReply) -> None:
-        stage = self._stage_of.pop(adopted.rid, None)
+        staged = self._stage_of.pop(adopted.rid, None)
         record = self._active
-        if stage is None or record is None:
+        if staged is None or record is None:
             return
+        stage, ctx = staged
         result = adopted.value
         if not isinstance(result, OpResult):
             raise RuntimeError(f"rebalancer: non-OpResult adoption {adopted!r}")
         handler = getattr(self, f"_on_{stage}")
-        handler(record, result)
+        handler(record, result, ctx)
 
     # -- normal path ----------------------------------------------------
 
-    def _on_prepare(self, record: MigrationRecord, result: OpResult) -> None:
+    def _on_prepare(
+        self, record: MigrationRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
         if result.ok:
             record.state = result.value[1]  # ("exported", state)
             record.phase = "installing"
@@ -495,7 +703,9 @@ class RebalanceCoordinator:
         )
         self._advance()
 
-    def _on_install(self, record: MigrationRecord, result: OpResult) -> None:
+    def _on_install(
+        self, record: MigrationRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
         if not result.ok:
             # Install can only fail on ownership/config errors; surface
             # it as an abort (the exported state stays in the source's
@@ -529,15 +739,158 @@ class RebalanceCoordinator:
         record.phase = "forgetting"
         self._submit(("mig_forget", record.mid), record.src, "forget")
 
-    def _on_forget(self, record: MigrationRecord, result: OpResult) -> None:
+    def _on_forget(
+        self, record: MigrationRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
         record.phase = "done"
         self.moves_committed += 1
         self.env.trace("mig_done", mid=record.mid, key=record.key)
         self._advance()
 
+    # -- hot-key splits --------------------------------------------------
+
+    def _start_split(self, record: SplitRecord) -> None:
+        if record.phase == "forgetting":
+            # Resumed past the table commit: only escrow GC is left.
+            self._submit_split_forgets(record)
+            return
+        record.phase = "splitting"
+        self.env.trace(
+            "split_begin",
+            sid=record.sid,
+            key=record.key,
+            frags=record.frags,
+            dsts=record.dsts,
+        )
+        self._submit(
+            ("split_open", record.sid, record.key, record.frags, record.dsts),
+            record.src,
+            "split_open",
+        )
+
+    def _on_split_open(
+        self, record: SplitRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
+        if not result.ok:
+            record.attempts += 1
+            record.error = result.error
+            if record.attempts < self.max_attempts:
+                # Transient veto (escrow hold, mid-migration ownership):
+                # same pacing as a vetoed mig_prepare.
+                self.env.set_timer(self.retry_delay, lambda: self._retry(record))
+                return
+            self._abort_split(record)
+            return
+        record.shipped = tuple(result.value[1])  # ("split", shipped)
+        record.phase = "installing"
+        record.pending = {mid for mid, _frag, _dst, _state in record.shipped}
+        self.env.trace("split_opened", sid=record.sid, key=record.key)
+        for mid, frag, dst, state in record.shipped:
+            self._submit(("mig_install", mid, frag, state), dst, "split_install", ctx=mid)
+
+    def _on_split_install(
+        self, record: SplitRecord, result: OpResult, mid: str
+    ) -> None:
+        if not result.ok:
+            # Ownership/config error: the fragment states stay parked in
+            # the source's escrow, where the conservation checkers will
+            # account for (or flag) them.
+            record.error = result.error
+            self._abort_split(record)
+            return
+        record.pending.discard(mid)
+        if record.pending:
+            return
+        # Every fragment is installed where the plan says: commit the
+        # whole placement in one epoch bump (idempotent under recovery),
+        # then GC the escrow entries.
+        if record.key not in self.authority.splits:
+            epoch = self.authority.split(
+                record.key, tuple(zip(record.frags, record.dsts))
+            )
+        else:
+            epoch = self.authority.epoch
+        self.env.trace(
+            "split_commit", sid=record.sid, key=record.key, epoch=epoch
+        )
+        self._submit_split_forgets(record)
+
+    def _submit_split_forgets(self, record: SplitRecord) -> None:
+        record.phase = "forgetting"
+        mids = [mid for mid, _frag, _dst, _state in record.shipped]
+        if not mids:  # defensively: nothing was ever escrowed
+            self._finish_split(record)
+            return
+        record.pending = set(mids)
+        for mid in mids:
+            self._submit(("mig_forget", mid), record.src, "split_forget", ctx=mid)
+
+    def _on_split_forget(
+        self, record: SplitRecord, result: OpResult, mid: str
+    ) -> None:
+        record.pending.discard(mid)
+        if not record.pending:
+            self._finish_split(record)
+
+    def _finish_split(self, record: SplitRecord) -> None:
+        record.phase = "done"
+        self.splits_committed += 1
+        self.env.trace("split_done", sid=record.sid, key=record.key)
+        self._advance()
+
+    def _abort_split(self, record: SplitRecord) -> None:
+        record.phase = "aborted"
+        self.splits_aborted += 1
+        self.env.trace(
+            "split_abort", sid=record.sid, key=record.key, reason=record.error
+        )
+        self._advance()
+
+    def _start_unsplit(self, record: UnsplitRecord) -> None:
+        record.phase = "merging"
+        self.env.trace(
+            "unsplit_begin", sid=record.sid, key=record.key, home=record.home
+        )
+        self._submit(
+            ("split_close", record.sid, record.key, record.frags),
+            record.home,
+            "split_close",
+        )
+
+    def _on_split_close(
+        self, record: UnsplitRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
+        if not result.ok:
+            record.attempts += 1
+            record.error = result.error
+            if record.attempts < self.max_attempts:
+                # A fragment may still carry a borrow's escrow hold, or a
+                # stray fragment's homeward migration may have aborted;
+                # retry after the usual pause.
+                self.env.set_timer(self.retry_delay, lambda: self._retry(record))
+                return
+            record.phase = "aborted"
+            self.env.trace(
+                "unsplit_abort", sid=record.sid, key=record.key, reason=record.error
+            )
+            self._advance()
+            return
+        if record.key in self.authority.splits:
+            epoch = self.authority.unsplit(record.key, record.home)
+        else:
+            epoch = self.authority.epoch
+        record.phase = "done"
+        self.unsplits_committed += 1
+        self.env.trace(
+            "unsplit_done", sid=record.sid, key=record.key, epoch=epoch
+        )
+        self._advance()
+
     # -- recovery path --------------------------------------------------
 
-    def _on_src_status(self, record: MigrationRecord, result: OpResult) -> None:
+    def _on_src_status(
+        self, record: MigrationRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
         status = result.value
         if status[0] == "prepared":
             _tag, _key, _dst, state = status
@@ -555,7 +908,9 @@ class RebalanceCoordinator:
         # forgotten (fully done).  The destination knows which.
         self._submit(("mig_status", record.mid), record.dst, "dst_status")
 
-    def _on_dst_status(self, record: MigrationRecord, result: OpResult) -> None:
+    def _on_dst_status(
+        self, record: MigrationRecord, result: OpResult, _ctx: Any = None
+    ) -> None:
         status = result.value
         self._resuming.discard(record.mid)
         if status[0] == "installed":
@@ -595,6 +950,7 @@ def attach_rebalancer(
     auto_ratio: float = 3.0,
     auto_sustain: int = 2,
     auto_min_load: float = 10.0,
+    auto_split_n: int = 0,
 ) -> RebalanceCoordinator:
     """Attach a rebalance coordinator (with its own client process) to a
     built :class:`~repro.sharding.cluster.ShardedRun`.
@@ -625,12 +981,18 @@ def attach_rebalancer(
         retry_interval=run.config.retry_interval,
     )
     run.network.start(client)
+    splitter = (
+        machine_cls
+        if isinstance(machine_cls, type) and issubclass(machine_cls, SplittableMachine)
+        else SplittableMachine
+    )
     coordinator = RebalanceCoordinator(
         client,
         run.routing_table,
         observed_clients=run.clients,
         retry_delay=retry_delay,
         max_attempts=max_attempts,
+        splitter=splitter,
     )
     if start_at is not None:
         # Held open via _pending_starts (see RebalanceCoordinator.
@@ -646,6 +1008,7 @@ def attach_rebalancer(
             sustain=auto_sustain,
             min_load=auto_min_load,
             max_moves=max_moves,
+            split_n=auto_split_n,
         )
     run.rebalancers.append(coordinator)
     return coordinator

@@ -110,6 +110,14 @@ class RoutingTable(ShardRouter):
     ever copied whole from the authority).  A table with no overrides
     routes identically to its base router, which keeps the epoch-0
     placement equal to the static placement the cluster was built with.
+
+    Beyond per-key moves, the table records **hot-key splits**
+    (``repro.statemachine.base.SplittableMachine``): ``splits`` maps a
+    logical key to the ordered tuple of its ``(fragment_key, shard)``
+    placements.  Fragments ride the same epoch -- a client that syncs for
+    any reason also learns every split -- and ``shard_of`` on a fragment
+    key resolves through overrides like any other key, so fragments can
+    themselves later migrate.
     """
 
     def __init__(
@@ -117,11 +125,13 @@ class RoutingTable(ShardRouter):
         base: ShardRouter,
         overrides: Optional[Mapping[Any, int]] = None,
         epoch: int = 0,
+        splits: Optional[Mapping[Any, Tuple[Tuple[Any, int], ...]]] = None,
     ) -> None:
         super().__init__(base.n_shards)
         self.base = base
         self.overrides: Dict[Any, int] = dict(overrides or {})
         self.epoch = epoch
+        self.splits: Dict[Any, Tuple[Tuple[Any, int], ...]] = dict(splits or {})
 
     def shard_of(self, key: Any) -> int:
         shard = self.overrides.get(key)
@@ -142,22 +152,60 @@ class RoutingTable(ShardRouter):
         self.epoch += 1
         return self.epoch
 
+    # -- hot-key splits -------------------------------------------------
+
+    def split(self, key: Any, placements: Sequence[Tuple[Any, int]]) -> int:
+        """Commit a key split (authority side); returns the new epoch.
+
+        ``placements`` is the ordered ``(fragment_key, shard)`` plan.
+        Like :meth:`move`, this is called only after every fragment's
+        state is installed where the plan says -- a single epoch bump
+        then flips clients from logical-key routing to fragment routing
+        atomically.
+        """
+        if key in self.splits:
+            raise ValueError(f"{key!r} is already split")
+        placements = tuple((frag, int(shard)) for frag, shard in placements)
+        if len(placements) < 2:
+            raise ValueError("a split needs at least two fragments")
+        for frag, shard in placements:
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(f"fragment shard {shard} out of range")
+            self.overrides[frag] = shard
+        self.splits[key] = placements
+        self.epoch += 1
+        return self.epoch
+
+    def unsplit(self, key: Any, home: int) -> int:
+        """Commit a merge: drop the split, route ``key`` to ``home``."""
+        placements = self.splits.pop(key, None)
+        if placements is None:
+            raise ValueError(f"{key!r} is not split")
+        for frag, _shard in placements:
+            self.overrides.pop(frag, None)
+        return self.move(key, home)
+
+    def fragments_of(self, key: Any) -> Optional[Tuple[Tuple[Any, int], ...]]:
+        """The committed ``(fragment, shard)`` plan of ``key``, or None."""
+        return self.splits.get(key)
+
     def copy(self) -> "RoutingTable":
         """An independent snapshot (a client's possibly-stale view)."""
-        return RoutingTable(self.base, self.overrides, self.epoch)
+        return RoutingTable(self.base, self.overrides, self.epoch, self.splits)
 
     def sync_from(self, authority: "RoutingTable") -> bool:
         """Catch up with the authority; returns True if anything changed."""
         if authority.epoch == self.epoch:
             return False
         self.overrides = dict(authority.overrides)
+        self.splits = dict(authority.splits)
         self.epoch = authority.epoch
         return True
 
     def __repr__(self) -> str:
         return (
             f"RoutingTable(base={self.base!r}, epoch={self.epoch}, "
-            f"moves={len(self.overrides)})"
+            f"moves={len(self.overrides)}, splits={len(self.splits)})"
         )
 
 

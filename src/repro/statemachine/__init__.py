@@ -24,6 +24,7 @@ from repro.statemachine.bank import BankMachine
 from repro.statemachine.base import (
     MigratableMachine,
     OpResult,
+    SplittableMachine,
     StateMachine,
     WrongShard,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "KVStoreMachine",
     "MigratableMachine",
     "OpResult",
+    "SplittableMachine",
     "StackMachine",
     "StateMachine",
     "UndoLog",

@@ -49,19 +49,29 @@ between shards via the ``mig_*`` family of
 of an account is its balance.  An account with a pending escrow hold
 refuses to export (:meth:`export_blocked`), so the transfer escrow and
 the migration escrow never interleave on one account.
+
+A single *hot* account can further be split into fragment accounts
+(``a001#f0``, ``a001#f1``, ...) via the ``split_open``/``split_close``
+family of :class:`~repro.statemachine.base.SplittableMachine`: the
+balance is a sum, so it partitions exactly.  While split, deposits are
+commutative (any fragment), withdrawals run against one fragment's local
+balance -- an overdraft then reports the fragment's available balance as
+``("short", available)`` so the sharded client can borrow from a sibling
+fragment via an ordinary transfer and retry -- and ``balance`` reads
+merge-on-read (sum over fragments).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.statemachine.base import MigratableMachine, OpResult
+from repro.statemachine.base import OpResult, SplittableMachine
 
 #: One escrow entry: ("debit" | "credit", account, amount).
 HoldEntry = Tuple[str, str, int]
 
 
-class BankMachine(MigratableMachine):
+class BankMachine(SplittableMachine):
     """Deterministic accounts map with exact inverse operations."""
 
     def __init__(
@@ -178,6 +188,46 @@ class BankMachine(MigratableMachine):
                 return f"escrow hold {txid} pending on {key}"
         return None
 
+    # -- hot-key splitting (SplittableMachine) --------------------------
+
+    def split_parts(self, state: int, n: int) -> Tuple[int, ...]:
+        """Partition a balance into n integer shares (exact: they sum back)."""
+        part, rem = divmod(state, n)
+        return (part + rem,) + (part,) * (n - 1)
+
+    def merge_parts(self, parts: Tuple[int, ...]) -> int:
+        return sum(parts)
+
+    @classmethod
+    def split_kind(cls, op: Tuple[Any, ...]) -> Optional[str]:
+        """Deposits commute, withdrawals are budget-limited, balance merges.
+
+        ``transfer`` endpoints are also commutative-in ("local") when the
+        split account is the *destination*; a split *source* is budgeted
+        like a withdrawal.  The client rewrite only consults this hook for
+        single-key ops, so transfer is classified by
+        :meth:`~repro.statemachine.base.SplittableMachine.fragment_op`
+        substitution instead: both roles rewrite onto one fragment, and a
+        short debit branch surfaces as a failed prepare the client
+        retries after borrowing.
+        """
+        name = op[0] if op else None
+        if name == "deposit" and len(op) == 3:
+            return "local"
+        if name == "withdraw" and len(op) == 3:
+            return "budget"
+        if name == "balance" and len(op) == 2:
+            return "read"
+        return None
+
+    @classmethod
+    def merge_read(cls, op: Tuple[Any, ...], values: Tuple[Any, ...]) -> int:
+        """The logical balance is the sum of fragment balances."""
+        return sum(values)
+
+    def fragment_value(self, frag: str) -> Optional[int]:
+        return self._accounts.get(frag)
+
     # ------------------------------------------------------------------
 
     def apply(self, op: Tuple[Any, ...]) -> OpResult:
@@ -225,7 +275,18 @@ class BankMachine(MigratableMachine):
             if error:
                 return error, _noop
             if self._accounts[account] < amount:
-                return OpResult(ok=False, error=f"withdraw: overdraft on {account}"), _noop
+                # The value carries the available balance so a client
+                # withdrawing from a split fragment knows the shortfall
+                # to borrow from a sibling (the error string is the
+                # stable API; the value is advisory).
+                return (
+                    OpResult(
+                        ok=False,
+                        value=("short", self._accounts[account]),
+                        error=f"withdraw: overdraft on {account}",
+                    ),
+                    _noop,
+                )
             self._accounts[account] -= amount
             return (
                 OpResult(ok=True, value=self._accounts[account]),

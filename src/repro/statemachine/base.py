@@ -68,7 +68,17 @@ class StateMachine:
 
         ``()`` means the operation has no routable key (whole-state reads,
         global counters); the sharded client sends those to a fixed
-        fallback shard.  Must be a pure function of the operation.
+        fallback shard.  Must be a pure function of the operation --
+        routing happens at the client, ownership checks at every replica,
+        and the execution engine derives conflict footprints from it, so
+        all three must see the same answer for the same tuple.
+
+        This hook is also the granularity knob for everything built on
+        top: a key named here is the unit of migration
+        (:class:`MigratableMachine`), of conflict chaining
+        (:meth:`conflict_footprint`), and of hot-key splitting
+        (:class:`SplittableMachine` fragments are ordinary keys with
+        their own ``keys_of`` identity).
         """
         return ()
 
@@ -102,9 +112,27 @@ class StateMachine:
         ``mig_*``/``tx_*`` families are deliberately never classified
         read-only -- even ``mig_status`` must be totally ordered, because
         migration recovery reasons about its position in the shard's
-        order.
+        order.  The same goes for the ``split_*`` family: splits mutate
+        ownership books and escrow, so they always ride the sequencer.
         """
         return False
+
+    @classmethod
+    def exec_cost_of(cls, op: Tuple[Any, ...]) -> float:
+        """Relative execution weight of ``op`` (a multiplier on the
+        engine's per-op ``exec_cost``).
+
+        The execution service model charges ``exec_cost * exec_cost_of(op)``
+        simulated time for one operation, so a machine can say that some
+        operations are intrinsically heavier: a migration installs a whole
+        key's exported state, a ``keys`` scan walks the entire store.  The
+        default weight is ``1.0`` -- every op costs exactly ``exec_cost``,
+        which preserves the pre-weight service model bit-for-bit.  Must be
+        a pure function of the operation (replicas schedule by it) and
+        must not be negative; ``0.0`` is legal (the op still occupies a
+        lane for one zero-delay event, it does not take the inline path).
+        """
+        return 1.0
 
     @staticmethod
     def tx_branches(
@@ -280,6 +308,22 @@ class MigratableMachine(StateMachine):
             return None
         return super().conflict_footprint(op)
 
+    @classmethod
+    def exec_cost_of(cls, op: Tuple[Any, ...]) -> float:
+        """Migrations move whole key states, so they execute heavier.
+
+        ``mig_prepare`` serializes a key's full state into the outbound
+        escrow and ``mig_install`` deserializes it on the destination --
+        both are bulk operations next to a normal single-key update, so
+        they charge 4x the base ``exec_cost``.  The probe/GC half of the
+        family (``mig_status``/``mig_forget``) touches only an escrow
+        dict entry and stays at weight 1.
+        """
+        name = op[0] if op else None
+        if name in ("mig_prepare", "mig_install"):
+            return 4.0
+        return super().exec_cost_of(op)
+
     # -- shared dispatch helpers ---------------------------------------
 
     def _wrong_shard(self, key: Any) -> Tuple[OpResult, Callable[[], None]]:
@@ -425,3 +469,248 @@ class MigratableMachine(StateMachine):
             self._outbound[mid] = entry
 
         return OpResult(ok=True, value=("forgotten",)), undo_forget
+
+
+class SplittableMachine(MigratableMachine):
+    """Hot-key splitting by escrow-partitioned commutative state.
+
+    A single hot key is the one load imbalance migration cannot fix:
+    moving the key moves the heat, and every operation on it conflicts
+    with every other, so the execution engine cannot parallelize it
+    either (benchmark B13's flatline).  When the key's state decomposes
+    commutatively -- a counter is a sum of sub-counters, a balance is a
+    sum of sub-balances -- the key can instead be **split** into N
+    fragment keys ``key#f0 .. key#f<N-1>``, each an ordinary key:
+
+    * fragments route independently (the routing table places them on
+      different shards),
+    * fragments have disjoint :meth:`~StateMachine.conflict_footprint`\\ s
+      (the execution engine runs them on different lanes), and
+    * fragments migrate/merge with the *existing* ``mig_*`` escrow
+      machinery -- ``split_open`` below is ``mig_prepare`` generalized to
+      export one key as N parts, and fragments reach their destination
+      shards via ordinary ``mig_install``.
+
+    Commutative ops (deposits, increments) go to any one fragment.
+    Budget-limited ops (withdrawals) run against one fragment's local
+    balance and may fail with a *shortfall*; the client then **borrows**
+    by submitting an ordinary transfer between fragments (riding the
+    cross-shard 2PC when fragments live on different shards) and retries.
+    Whole-value reads **merge-on-read**: the client scatter-gathers one
+    read per fragment and combines them with :meth:`merge_read`.  The
+    conserved quantity -- sum of fragment values plus in-flight borrow
+    escrow equals the logical value -- is checked exactly by
+    :func:`repro.analysis.checkers.check_fragment_conservation`.
+
+    The op family (coordinated by ``sharding/rebalance.py``, driven by
+    adopted replies like migrations)::
+
+        ("split_open", sid, key, (frag0..fragN-1), (dst0..dstN-1))
+            -> ok, ("split", ((mid, frag, dst, part), ...))
+            Runs on the key's owner.  Exports the key, partitions its
+            state with split_parts, installs fragment 0 locally and
+            parks fragments 1..N-1 in the outbound migration escrow
+            under mids "<sid>.<i>" addressed to their dsts.
+        ("split_close", sid, key, (frag0..fragN-1))
+            -> ok, ("merged", state)  |  ok, ("already",)
+            Runs on the shard owning *all* fragments (the coordinator
+            first migrates strays home).  Exports every fragment,
+            merge_parts them, reinstalls the logical key.
+
+    Both are exactly undoable, so Opt-undeliver of a split is a rollback
+    like any other.  Neither has a routable key (``keys_of`` -> ``()``),
+    so they carry a *global* conflict footprint -- a split fences the
+    pipeline, which is exactly right: no fragment op may overtake it.
+
+    Subclasses implement the small hook surface below
+    (:meth:`split_parts` / :meth:`merge_parts` for the state algebra,
+    :meth:`split_kind` / :meth:`fragment_op` / :meth:`merge_read` /
+    :meth:`fragment_value` for the client rewrite rules).
+    """
+
+    #: Separator between a logical key and its fragment index.  Keys
+    #: containing this substring cannot be split (parent_key would
+    #: misparse them); the key universes used here never do.
+    SPLIT_SEP = "#f"
+
+    # -- fragment naming ------------------------------------------------
+
+    @classmethod
+    def fragment_keys(cls, key: str, n: int) -> Tuple[str, ...]:
+        """The N fragment keys of ``key``, in fragment-index order."""
+        return tuple(f"{key}{cls.SPLIT_SEP}{i}" for i in range(n))
+
+    @classmethod
+    def parent_key(cls, key: Any) -> Optional[str]:
+        """The logical key ``key`` is a fragment of, or None."""
+        if key.__class__ is not str:
+            return None
+        sep = key.rfind(cls.SPLIT_SEP)
+        if sep <= 0:
+            return None
+        suffix = key[sep + len(cls.SPLIT_SEP):]
+        if not suffix.isdigit():
+            return None
+        return key[:sep]
+
+    # -- subclass hook surface -----------------------------------------
+
+    def split_parts(self, state: Any, n: int) -> Tuple[Any, ...]:
+        """Partition an exported key state into ``n`` fragment states.
+
+        Pure with respect to the machine (no side effects); must satisfy
+        ``merge_parts(split_parts(s, n)) == s`` exactly -- conservation
+        checking is exact, not approximate.
+        """
+        raise NotImplementedError
+
+    def merge_parts(self, parts: Tuple[Any, ...]) -> Any:
+        """Recombine fragment states into the logical key state."""
+        raise NotImplementedError
+
+    @classmethod
+    def split_kind(cls, op: Tuple[Any, ...]) -> Optional[str]:
+        """How ``op`` behaves when its (single) key is split.
+
+        * ``"local"``  -- commutative; rewrite onto any one fragment
+          (deposits, increments).
+        * ``"budget"`` -- runs against one fragment's local budget and
+          may fail with a shortfall the client resolves by borrowing
+          (withdrawals).
+        * ``"read"``   -- whole-value read; scatter to every fragment
+          and combine with :meth:`merge_read`.
+        * ``None``     -- not fragment-rewritable (multi-key ops, opens);
+          the client leaves the op on the logical key, and the ownership
+          guard answers WrongShard until the key is unsplit.
+        """
+        return None
+
+    @classmethod
+    def fragment_op(cls, op: Tuple[Any, ...], key: Any, frag: Any) -> Tuple[Any, ...]:
+        """Rewrite ``op`` from the logical ``key`` onto fragment ``frag``.
+
+        The default substitutes every occurrence of the key in the tuple,
+        which is right for all the bundled machines.
+        """
+        return tuple(frag if part == key else part for part in op)
+
+    @classmethod
+    def merge_read(cls, op: Tuple[Any, ...], values: Tuple[Any, ...]) -> Any:
+        """Combine per-fragment read values into the logical value."""
+        raise NotImplementedError
+
+    def fragment_value(self, frag: Any) -> Any:
+        """Current local value of an owned fragment (checker probe)."""
+        raise NotImplementedError
+
+    # -- execution weight ----------------------------------------------
+
+    @classmethod
+    def exec_cost_of(cls, op: Tuple[Any, ...]) -> float:
+        """Splits export/partition/reinstall whole key states: weight 4."""
+        name = op[0] if op else None
+        if name in ("split_open", "split_close"):
+            return 4.0
+        return super().exec_cost_of(op)
+
+    # -- the operation family ------------------------------------------
+
+    def _migration_op(
+        self, op: Tuple[Any, ...]
+    ) -> Optional[Tuple[OpResult, Callable[[], None]]]:
+        handled = super()._migration_op(op)
+        if handled is not None:
+            return handled
+        name = op[0] if op else None
+        if name == "split_open" and len(op) == 5:
+            return self._split_open(op[1], op[2], tuple(op[3]), tuple(op[4]))
+        if name == "split_close" and len(op) == 4:
+            return self._split_close(op[1], op[2], tuple(op[3]))
+        return None
+
+    def _split_open(
+        self, sid: str, key: Any, frags: Tuple[Any, ...], dsts: Tuple[Any, ...]
+    ) -> Tuple[OpResult, Callable[[], None]]:
+        if self._owned is None:
+            return OpResult(ok=False, error="split_open: machine is not sharded"), _noop
+        if len(frags) < 2 or len(frags) != len(dsts):
+            return OpResult(ok=False, error="split_open: bad fragment plan"), _noop
+        if key not in self._owned:
+            result, undo = self._wrong_shard(key)
+            return (
+                OpResult(ok=False, value=result.value, error=f"split_open: {result.error}"),
+                undo,
+            )
+        blocked = self.export_blocked(key)
+        if blocked is not None:
+            return OpResult(ok=False, error=f"split_open: {blocked}"), _noop
+        for frag in frags:
+            if frag in self._owned:
+                return (
+                    OpResult(ok=False, error=f"split_open: fragment {frag!r} already owned"),
+                    _noop,
+                )
+        mids = tuple(f"{sid}.{i}" for i in range(1, len(frags)))
+        for mid in mids:
+            if mid in self._outbound or mid in self._installed:
+                return OpResult(ok=False, error=f"split_open: mid {mid} in use"), _noop
+
+        state = self.export_key(key)
+        self._owned.discard(key)
+        parts = self.split_parts(state, len(frags))
+        self.install_key(frags[0], parts[0])
+        self._owned.add(frags[0])
+        shipped = []
+        for i in range(1, len(frags)):
+            self._outbound[mids[i - 1]] = (frags[i], dsts[i], parts[i])
+            shipped.append((mids[i - 1], frags[i], dsts[i], parts[i]))
+
+        def undo_open() -> None:
+            for mid in mids:
+                del self._outbound[mid]
+            self.export_key(frags[0])
+            self._owned.discard(frags[0])
+            self.install_key(key, state)
+            self._owned.add(key)
+
+        return OpResult(ok=True, value=("split", tuple(shipped))), undo_open
+
+    def _split_close(
+        self, sid: str, key: Any, frags: Tuple[Any, ...]
+    ) -> Tuple[OpResult, Callable[[], None]]:
+        if self._owned is None:
+            return OpResult(ok=False, error="split_close: machine is not sharded"), _noop
+        if key in self._owned:
+            # The coordinator retries on crashes; a re-delivered close of
+            # an already-merged key is a no-op, like a re-sent install.
+            return OpResult(ok=True, value=("already",)), _noop
+        if not frags:
+            return OpResult(ok=False, error="split_close: bad fragment plan"), _noop
+        for frag in frags:
+            if frag not in self._owned:
+                result, undo = self._wrong_shard(frag)
+                return (
+                    OpResult(
+                        ok=False, value=result.value, error=f"split_close: {result.error}"
+                    ),
+                    undo,
+                )
+            blocked = self.export_blocked(frag)
+            if blocked is not None:
+                return OpResult(ok=False, error=f"split_close: {blocked}"), _noop
+
+        parts = tuple(self.export_key(frag) for frag in frags)
+        for frag in frags:
+            self._owned.discard(frag)
+        state = self.merge_parts(parts)
+        self.install_key(key, state)
+        self._owned.add(key)
+
+        def undo_close() -> None:
+            self.export_key(key)
+            self._owned.discard(key)
+            for frag, part in zip(frags, parts):
+                self.install_key(frag, part)
+                self._owned.add(frag)
+
+        return OpResult(ok=True, value=("merged", state)), undo_close

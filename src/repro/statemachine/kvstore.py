@@ -78,6 +78,13 @@ class KVStoreMachine(MigratableMachine):
         name = op[0] if op else None
         return (name == "get" and len(op) == 2) or (name == "keys" and len(op) == 1)
 
+    @classmethod
+    def exec_cost_of(cls, op: Tuple[Any, ...]) -> float:
+        """``keys`` scans the whole store: charge double the base cost."""
+        if op and op[0] == "keys" and len(op) == 1:
+            return 2.0
+        return super().exec_cost_of(op)
+
     # -- live migration (MigratableMachine) -----------------------------
 
     def export_key(self, key: Any) -> Tuple[Any, ...]:

@@ -220,6 +220,49 @@ def cross_shard_bank_ops(
             yield ("balance", all_accounts[0])
 
 
+def hot_key_bank_ops(
+    rng: random.Random,
+    accounts: Sequence[str],
+    hot_ratio: float = 0.8,
+    read_ratio: float = 0.2,
+) -> Iterator[Op]:
+    """Deposits/withdrawals/balances concentrated on one hot account.
+
+    ``accounts[0]`` is the hot account: with probability ``hot_ratio``
+    an operation targets it, so at high skew one key's shard -- and,
+    within that shard, one conflict-serialized key -- bounds goodput no
+    matter how many shards or execution lanes the cluster has.  This is
+    the key-splitting stress (benchmark B14): every generated operation
+    is split-rewritable (deposits commute onto any fragment,
+    withdrawals run against one fragment's escrow budget, balances
+    merge-on-read), so splitting the hot account should recover the
+    lost parallelism.  Deposits mean account totals are *not*
+    conserved; runs on this workload disable the money-supply checks
+    and assert ``check_fragment_conservation`` instead.
+    """
+    if not accounts:
+        raise ValueError("hot-key workload needs at least one account")
+    if not 0.0 <= hot_ratio <= 1.0:
+        raise ValueError("hot_ratio must be within [0, 1]")
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ValueError("read_ratio must be within [0, 1]")
+    accounts = list(accounts)
+    hot, cold = accounts[0], accounts[1:]
+
+    while True:
+        if cold and rng.random() >= hot_ratio:
+            account = rng.choice(cold)
+        else:
+            account = hot
+        roll = rng.random()
+        if roll < read_ratio:
+            yield ("balance", account)
+        elif roll < read_ratio + (1.0 - read_ratio) / 2:
+            yield ("deposit", account, rng.randint(1, 100))
+        else:
+            yield ("withdraw", account, rng.randint(1, 80))
+
+
 def bank_ops(
     rng: random.Random,
     accounts: Sequence[str] = ("alice", "bob", "carol"),

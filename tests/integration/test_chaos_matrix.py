@@ -303,3 +303,97 @@ class TestChaosMatrix:
                 assert record.terminal, record
 
         run_with_artifact("coordinator-crash", config, extra)
+
+    def test_split_races_migration_and_crash(self):
+        # A hot-key split queued against ordinary key migrations (the
+        # coordinator serializes them, so each runs against the traffic
+        # and routing churn the other left behind) while a replica dies
+        # mid-window.  check_all runs check_fragment_conservation for
+        # the bank machine: fragments + escrow must equal the adopted
+        # history exactly, whatever the interleaving.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+            hot = run.key_universe[0]
+
+            def kick():
+                coordinator.split_key(hot, 2)
+                n = run.config.n_shards
+                for key in run.key_universe[1:3]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            coordinator.schedule(12.0, kick)
+            run.network.crash_at(16.0 + (SEED % 4), "s1.p2")
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=20,
+            machine="bank",
+            workload="hotkey",
+            hot_ratio=0.7,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 500,
+        )
+
+        def extra(run):
+            coordinator = run.rebalancers[0]
+            assert coordinator.done
+            assert coordinator.splits_committed + coordinator.splits_aborted == 1
+            assert all(record.terminal for record in coordinator.journal)
+            for client in run.clients:
+                assert client.outstanding == 0
+
+        run_with_artifact("split-races-migration", config, extra)
+
+    def test_split_traffic_on_parallel_lanes_under_crash(self):
+        # The full stack at once: a split hot key served by costed
+        # 4-lane execution (fragment ops ride separate lanes, borrows
+        # ride 2PC between shards) with a replica crashing while its
+        # lanes are busy -- the crash/undo half of the conservation
+        # story, since Opt-undone fragment ops must never count toward
+        # the adopted-history equation.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+            hot = run.key_universe[0]
+            coordinator.schedule(10.0, lambda: coordinator.split_key(hot, 4))
+            run.network.crash_at(20.0 + (SEED % 5), "s0.p3")
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=20,
+            machine="bank",
+            workload="hotkey",
+            hot_ratio=1.0,
+            initial_balance=60,  # slim fragments: shortfalls and borrows
+            exec_cost=0.8,
+            exec_lanes=4,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 600,
+        )
+
+        def extra(run):
+            coordinator = run.rebalancers[0]
+            assert coordinator.done
+            for server in run.servers:
+                if not server.crashed:
+                    assert server.engine.idle
+            for client in run.clients:
+                assert client.outstanding == 0
+
+        run_with_artifact("split-parallel-exec-crash", config, extra)

@@ -90,6 +90,19 @@ class _FakeShardClient:
             value = ("exported", ("present", "v"))
         elif name == "mig_install":
             value = ("installed",)
+        elif name == "split_open":
+            # ("split_open", sid, key, frags, dsts): echo the escrow
+            # plan the real source shard would ship.
+            sid, frags, dsts = op[1], op[3], op[4]
+            value = (
+                "split",
+                tuple(
+                    (f"{sid}.{i}", frags[i], dsts[i], "part")
+                    for i in range(1, len(frags))
+                ),
+            )
+        elif name == "split_close":
+            value = ("merged", "state")
         else:  # mig_forget / mig_status on this happy path
             value = ("forgotten",)
         reply = AdoptedReply(
@@ -118,6 +131,7 @@ def make_coordinator(n_shards=2, **auto):
         sustain=auto.pop("sustain", 2),
         min_load=auto.pop("min_load", 10.0),
         max_moves=auto.pop("max_moves", 2),
+        split_n=auto.pop("split_n", 0),
     )
     return clock, env, load, authority, coordinator
 
@@ -269,3 +283,118 @@ class TestAutoTriggerPolicy:
         load.record(KEYS[-1], weight=5.0)
         ratio, _hot, _cold = coordinator.imbalance_ratio()
         assert ratio == pytest.approx(2.0)
+
+
+def make_manual_coordinator(n_shards=2):
+    """A coordinator with no auto trigger: plan_moves is called directly."""
+    clock = ManualClock()
+    env = _FakeEnv(clock)
+    load = DecayingKeyLoad(half_life=100.0, clock=clock)
+    client = _FakeShardClient(env, load)
+    authority = RoutingTable(make_router("range", n_shards, KEYS))
+    coordinator = RebalanceCoordinator(
+        client, authority, observed_clients=[client]
+    )
+    return env, authority, coordinator
+
+
+class TestPlanStability:
+    """plan_moves must not churn: near-equal shards stay put, and a
+    planned move is never immediately planned back (ping-pong).
+
+    The guard is the gap test -- a candidate key must carry *less* load
+    than the current hot-cold gap -- which makes every accepted move
+    strictly shrink the gap, so re-planning after the move has nothing
+    left to do.  Range routing over KEYS puts k000-k007 on shard 0 and
+    k008-k015 on shard 1.
+    """
+
+    def test_near_equal_shards_plan_nothing(self):
+        _env, _authority, coordinator = make_manual_coordinator()
+        load = {KEYS[0]: 10.0, KEYS[1]: 9.0, KEYS[8]: 10.0, KEYS[9]: 8.0}
+        # 19 vs 18: every candidate outweighs the gap of 1, even with
+        # plenty of move budget.
+        assert coordinator.plan_moves(load, max_moves=8) == []
+
+    def test_plan_stops_before_inverting_the_imbalance(self):
+        _env, _authority, coordinator = make_manual_coordinator()
+        load = {KEYS[0]: 4.0, KEYS[1]: 4.0, KEYS[8]: 1.0}
+        # 8 vs 1: moving one 4 lands at 4 vs 5, and the new gap of 1
+        # admits no candidate -- the plan must stop at one move rather
+        # than oscillate keys across the near-equal shards.
+        plan = coordinator.plan_moves(load, max_moves=8)
+        assert plan == [(KEYS[0], 0, 1)]
+
+    def test_replanning_after_the_move_is_empty(self):
+        _env, authority, coordinator = make_manual_coordinator()
+        load = {KEYS[0]: 9.0, KEYS[1]: 5.0, KEYS[8]: 6.0}
+        plan = coordinator.plan_moves(load, max_moves=8)
+        assert plan == [(KEYS[1], 0, 1)]
+        # Commit the move and re-plan against the *same* load snapshot:
+        # 9 vs 11 leaves a gap of 2 with no lighter candidate, so the
+        # moved key is not bounced home.
+        authority.move(KEYS[1], 1)
+        assert coordinator.plan_moves(load, max_moves=8) == []
+
+    def test_plan_is_deterministic(self):
+        _env, _authority, coordinator = make_manual_coordinator()
+        load = {KEYS[0]: 12.0, KEYS[1]: 7.0, KEYS[2]: 7.0, KEYS[8]: 3.0}
+        first = coordinator.plan_moves(load, max_moves=8)
+        assert first == coordinator.plan_moves(load, max_moves=8)
+
+    def test_single_dominant_key_defeats_the_planner(self):
+        _env, _authority, coordinator = make_manual_coordinator()
+        load = {KEYS[0]: 100.0, KEYS[8]: 5.0}
+        # The hot key outweighs the gap: moving it would only swap which
+        # shard is hot.  An empty plan here is the auto-split trigger's
+        # precondition.
+        assert coordinator.plan_moves(load, max_moves=8) == []
+
+
+class TestAutoSplit:
+    def test_dominant_key_splits_when_the_plan_is_defeated(self):
+        clock, env, load, authority, coordinator = make_coordinator(
+            sustain=2, split_n=2
+        )
+        hot = KEYS[0]
+
+        def heat():
+            load.record(hot, weight=500.0)
+            load.record(KEYS[-1], weight=10.0)
+
+        heat()
+        tick(clock, env)  # strike 1
+        heat()
+        tick(clock, env)  # strike 2: plan is empty -> split instead
+        assert coordinator.auto_rebalances == 0
+        assert coordinator.auto_splits == 1
+        assert coordinator.splits_committed == 1
+        placements = authority.fragments_of(hot)
+        assert placements is not None and len(placements) == 2
+        assert [kind for kind, _f in env.traced if kind == "split_auto"]
+
+    def test_fragments_are_never_split_again(self):
+        clock, env, load, authority, coordinator = make_coordinator(
+            sustain=1, split_n=2
+        )
+        hot = KEYS[0]
+        load.record(hot, weight=500.0)
+        load.record(KEYS[-1], weight=10.0)
+        tick(clock, env)
+        assert coordinator.auto_splits == 1
+        frag0 = authority.fragments_of(hot)[0][0]
+        # The heat follows a fragment now; sustained imbalance on it
+        # must not cascade into splitting the fragment itself.
+        for _ in range(3):
+            load.record(frag0, weight=500.0)
+            load.record(KEYS[-1], weight=10.0)
+            tick(clock, env)
+        assert coordinator.auto_splits == 1
+        assert authority.fragments_of(frag0) is None
+
+    def test_split_n_validation(self):
+        _clock, _env, _load, _authority, coordinator = make_coordinator()
+        with pytest.raises(ValueError):
+            coordinator.enable_auto_trigger(split_n=1)
+        with pytest.raises(ValueError):
+            coordinator.enable_auto_trigger(split_n=-2)
