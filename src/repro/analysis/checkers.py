@@ -1039,6 +1039,140 @@ def check_read_consistency(
 
 
 # ----------------------------------------------------------------------
+# Fault-plane accounting (link faults beyond crash-stop)
+# ----------------------------------------------------------------------
+
+_FAULT_TRACE_KINDS = (
+    "msg_drop",
+    "msg_dup",
+    "msg_corrupt",
+    "msg_jitter",
+    "msg_held",
+    "msg_rewrite",
+    "msg_corrupt_drop",
+    "heal_storm",
+)
+
+
+def check_fault_plane_accounting(trace: TraceLog, network: Any) -> Dict[str, int]:
+    """Every injected link fault is traced and accounted for.
+
+    Three families of assertion, all on quiescent runs:
+
+    * **Counter/trace agreement** -- each fault counter on the installed
+      :class:`~repro.sim.faultplane.FaultPlane` equals the number of its
+      trace events (a fault can never be injected silently), and held
+      messages are exactly the released ones plus the still-held ones.
+    * **Nothing applied corrupt** -- every corrupted payload was either
+      detected-and-dropped at delivery (``msg_corrupt_drop``) or is
+      still held (one-way block or partition); re-verifies the checksum
+      of every held envelope to prove it.
+    * **Duplicates never double-execute** -- no server R-delivers (and
+      therefore executes) the same rid twice, no matter how many copies
+      the links produced.  Checked whether or not a plane is installed.
+
+    When no plane is installed, asserts the zero baseline instead: no
+    fault trace events, no fault counters -- the golden-run guarantee
+    that fault-free behaviour is byte-identical to the benign network.
+    Returns the fault counters for reporting.
+    """
+    # Duplicate suppression: one r_deliver per (server, rid), always.
+    seen: Set[Tuple[str, str]] = set()
+    for event in trace.events(kind="r_deliver"):
+        key = (event.pid, event["rid"])
+        if key in seen:
+            raise CheckFailure(
+                f"duplicate execution: {event.pid} R-delivered "
+                f"{event['rid']!r} twice"
+            )
+        seen.add(key)
+
+    plane = getattr(network, "fault_plane", None)
+    corrupt_dropped = getattr(network, "corrupt_dropped", 0)
+    if plane is None:
+        if corrupt_dropped:
+            raise CheckFailure(
+                f"no fault plane installed but {corrupt_dropped} payloads "
+                f"were dropped as corrupt"
+            )
+        if trace.enabled:
+            for kind in _FAULT_TRACE_KINDS:
+                stray = trace.events(kind=kind)
+                if stray:
+                    raise CheckFailure(
+                        f"no fault plane installed but {len(stray)} "
+                        f"{kind!r} events are in the trace"
+                    )
+        return {"corrupt_dropped": 0}
+
+    stats = plane.stats()
+    if trace.enabled:
+        expected = {
+            "dropped": "msg_drop",
+            "duplicated": "msg_dup",
+            "corrupted": "msg_corrupt",
+            "jittered": "msg_jitter",
+            "held": "msg_held",
+            "rewritten": "msg_rewrite",
+        }
+        for counter, kind in expected.items():
+            traced = len(trace.events(kind=kind))
+            if stats[counter] != traced:
+                raise CheckFailure(
+                    f"fault accounting: counter {counter}={stats[counter]} "
+                    f"but {traced} {kind!r} trace events"
+                )
+        released = sum(
+            event["released"] for event in trace.events(kind="heal_storm")
+        )
+        if stats["released"] != released:
+            raise CheckFailure(
+                f"fault accounting: released={stats['released']} but "
+                f"heal_storm events account for {released}"
+            )
+        traced_drops = len(trace.events(kind="msg_corrupt_drop"))
+        if corrupt_dropped != traced_drops:
+            raise CheckFailure(
+                f"fault accounting: corrupt_dropped={corrupt_dropped} but "
+                f"{traced_drops} msg_corrupt_drop trace events"
+            )
+    if stats["held"] != stats["released"] + stats["pending_held"]:
+        raise CheckFailure(
+            f"fault accounting: held={stats['held']} != "
+            f"released={stats['released']} + pending={stats['pending_held']}"
+        )
+
+    # Nothing applied corrupt: every corrupted payload was dropped at
+    # delivery, is still held somewhere with a failing checksum, or was
+    # still in flight (scheduled past the run's cutoff) when the sim
+    # stopped.
+    from repro.sim.faultplane import wire_checksum
+
+    undelivered_corrupt = 0
+    undelivered = (
+        list(plane.held_envelopes())
+        + list(network._held)
+        + list(network.in_flight_checksummed())
+    )
+    for envelope in undelivered:
+        if (
+            envelope.checksum is not None
+            and wire_checksum(envelope.payload) != envelope.checksum
+        ):
+            undelivered_corrupt += 1
+    if stats["corrupted"] != corrupt_dropped + undelivered_corrupt:
+        raise CheckFailure(
+            f"corrupt payload escaped: {stats['corrupted']} injected, "
+            f"{corrupt_dropped} dropped at delivery, {undelivered_corrupt} "
+            f"still held or in flight -- "
+            f"{stats['corrupted'] - corrupt_dropped - undelivered_corrupt} "
+            f"unaccounted for (applied?)"
+        )
+    stats["corrupt_dropped"] = corrupt_dropped
+    return stats
+
+
+# ----------------------------------------------------------------------
 # Baseline anomaly scoring (Figure 1(b))
 # ----------------------------------------------------------------------
 

@@ -110,6 +110,12 @@ class SequencerAtomicBroadcastServer(ComponentProcess):
         # ViewOrder rids awaiting bodies; deque because it drains from
         # the front (pop(0) on a list is O(queue) per delivery).
         self._adopt_queue: Deque[str] = deque()
+        # Takeover views already adopted: a duplicated ViewOrder (link
+        # faults) must not clear newer assignments or rewind the
+        # delivery cursor.  View equality alone cannot be the guard --
+        # a higher-view OrderMsg can legitimately bump `view` before
+        # its ViewOrder arrives.
+        self._adopted_takeovers: Set[int] = set()
         if isinstance(fd, HeartbeatFailureDetector):
             self.add_component(fd)
         fd.add_listener(self._on_suspicion)
@@ -210,6 +216,8 @@ class SequencerAtomicBroadcastServer(ComponentProcess):
             # We have not executed the view change locally yet; trust the
             # higher view (its ViewOrder is on the way or was processed).
             self.view = order.view
+        if order.seqno < self._next_deliver:
+            return  # stale duplicate: this slot was already delivered
         self._assignments[order.seqno] = order.rid
         self._drain()
 
@@ -222,13 +230,20 @@ class SequencerAtomicBroadcastServer(ComponentProcess):
             self.view = batch.view
         assignments = self._assignments
         first = batch.first_seqno
+        next_deliver = self._next_deliver
         for offset, rid in enumerate(batch.rids):
-            assignments[first + offset] = rid
+            seqno = first + offset
+            if seqno < next_deliver:
+                continue  # stale duplicate: slot already delivered
+            assignments[seqno] = rid
         self._drain()
 
     def _on_view_order(self, src: str, takeover: ViewOrder) -> None:
         if takeover.view < self.view or self.fd.is_suspected(src):
             return
+        if takeover.view in self._adopted_takeovers:
+            return  # duplicated takeover: already adopted this view
+        self._adopted_takeovers.add(takeover.view)
         self.view = takeover.view
         self._i_am_sequencer = False
         self._assignments.clear()

@@ -242,6 +242,18 @@ class OARClient(ComponentProcess):
         self.read_rids: Set[str] = set()
         self.reads_adopted = 0
         self.read_retransmissions = 0
+        # Sequencer-equivocation detection: optimistic replies carry an
+        # *order certificate* -- the sequencer-assigned (epoch, slot) the
+        # replying replica learned for the rid.  The client cross-checks
+        # every certificate it ever sees (late replies included: the
+        # divergent one typically lands after adoption) against two
+        # indices; a conflict means the sequencer told two replicas two
+        # different orders, which message loss cannot fake (slots are
+        # sequencer-assigned, not replica positions).  Keyed per scope
+        # (the server-group prefix) so sharded groups never cross-talk.
+        self._slot_certs: Dict[Tuple[str, int, int], Tuple[str, str]] = {}
+        self._rid_certs: Dict[Tuple[str, int, str], Tuple[int, str]] = {}
+        self.equivocations_detected = 0
 
     @property
     def majority_weight(self) -> int:
@@ -509,7 +521,56 @@ class OARClient(ComponentProcess):
 
     # ------------------------------------------------------------------
 
+    def _record_order_certificate(self, src: str, reply: Reply) -> None:
+        """Cross-check an optimistic reply's sequencer order certificate.
+
+        The certificate claims "the epoch-``k`` sequencer assigned slot
+        ``n`` to rid ``r``".  Slots are numbered by the sequencer itself
+        (``SeqOrder.start`` + offset), so two replicas can never
+        *honestly* report different slots for one rid, nor different
+        rids for one slot, no matter what the links drop or reorder --
+        a conflict is deterministic evidence of equivocation and raises
+        the ``equivocation_alarm`` trace.
+        """
+        slot = reply.slot
+        if slot is None or reply.conservative:
+            return
+        scope = src.rpartition(".")[0]  # shard prefix; "" when unsharded
+        epoch = reply.epoch
+        rid = reply.rid
+        slot_key = (scope, epoch, slot)
+        claimed = self._slot_certs.get(slot_key)
+        if claimed is None:
+            self._slot_certs[slot_key] = (rid, src)
+        elif claimed[0] != rid:
+            self.equivocations_detected += 1
+            self.env.trace(
+                "equivocation_alarm",
+                rid=rid,
+                epoch=epoch,
+                slot=slot,
+                src=src,
+                other_rid=claimed[0],
+                other_src=claimed[1],
+            )
+        rid_key = (scope, epoch, rid)
+        known = self._rid_certs.get(rid_key)
+        if known is None:
+            self._rid_certs[rid_key] = (slot, src)
+        elif known[0] != slot:
+            self.equivocations_detected += 1
+            self.env.trace(
+                "equivocation_alarm",
+                rid=rid,
+                epoch=epoch,
+                slot=slot,
+                src=src,
+                other_slot=known[0],
+                other_src=known[1],
+            )
+
     def _on_reply(self, src: str, reply: Reply) -> None:
+        self._record_order_certificate(src, reply)
         pending = self._pending.get(reply.rid)
         if pending is None:
             self.late_replies += 1

@@ -75,6 +75,7 @@ class _Entry:
         "dependents",
         "on_done",
         "undoable",
+        "inverse",
         "read",
         "done",
         "lane",
@@ -102,6 +103,10 @@ class _Entry:
         self.dependents: List[_Entry] = []
         self.on_done = on_done
         self.undoable = undoable
+        #: Opt-undeliver inverse closure; when set, completion runs this
+        #: instead of applying ``op`` (the op names what is being undone
+        #: and prices the lane occupancy via ``exec_cost_of``).
+        self.inverse: Optional[Callable[[], None]] = None
         self.read = read
         self.done = False
         self.lane: int = -1
@@ -185,6 +190,7 @@ class ExecutionEngine:
         self._in_service = 0
         # Counters (tests, benchmarks, introspection).
         self.executed = 0
+        self.inverses_executed = 0
         self.cancelled_in_flight = 0
         self.max_concurrency = 0
 
@@ -242,6 +248,49 @@ class ExecutionEngine:
         if undoable:
             self.undo_log.push_pending(rid)
             self._by_rid[rid] = entry
+        self._live += 1
+        self._link(entry)
+        if entry.waiting == 0:
+            self._ready.append(entry)
+        self._pump()
+
+    def submit_inverse(
+        self,
+        rid: str,
+        op: Tuple[Any, ...],
+        undo: Callable[[], None],
+        on_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Charge an Opt-undeliver inverse through the lane model.
+
+        Undoing an executed operation is real work: the inverse occupies
+        an execution lane for ``exec_cost x exec_cost_of(op)``, exactly
+        like the forward execution did, instead of running free at the
+        phase-2 instant.  ``op`` is the *forward* operation being undone
+        -- it provides the conflict footprint (inverses submitted in
+        reverse delivery order chain correctly among themselves, and New
+        redos submitted afterwards chain behind them) and the cost
+        weight.  Inverse entries are never undoable, never registered
+        for :meth:`cancel`, and count in :attr:`backlog` so quiescence
+        waits for them.
+
+        On the inline fast path the inverse runs synchronously (the
+        pre-engine behaviour, byte-identical) and ``on_done`` -- which
+        exists so callers can trace the charged completion -- does not
+        fire.
+        """
+        if self.cost <= 0.0:
+            undo()
+            return
+        entry = _Entry(
+            rid, op, self._footprint(op),
+            (lambda _result, lane: on_done(lane))
+            if on_done is not None
+            else (lambda _result, lane: None),
+            undoable=False,
+            weight=self._exec_cost_of(op),
+        )
+        entry.inverse = undo
         self._live += 1
         self._link(entry)
         if entry.waiting == 0:
@@ -379,14 +428,19 @@ class ExecutionEngine:
 
     def _complete(self, entry: _Entry) -> None:
         entry.timer = None
-        if entry.undoable:
+        if entry.inverse is not None:
+            entry.inverse()
+            result = None
+            self.inverses_executed += 1
+        elif entry.undoable:
             result, undo = self.machine.apply_with_undo(entry.op)
             # The log exists: undoable submissions require one (the
             # matching push_pending already succeeded at submit).
             self.undo_log.resolve(entry.rid, undo)
+            self.executed += 1
         else:
             result = self.machine.apply(entry.op)
-        self.executed += 1
+            self.executed += 1
         self._in_service -= 1
         self._free_lanes.append(entry.lane)
         ready_reads = self._finish(entry)
@@ -402,8 +456,12 @@ class ExecutionEngine:
         after the entry's own completion callback).
         """
         entry.done = True
-        if entry.rid is not None:
-            self._by_rid.pop(entry.rid, None)
+        # Identity-guarded: an *inverse* entry shares its rid with the
+        # forward op it undoes, and that rid may have been re-delivered
+        # (and re-registered) in a later epoch while the inverse was
+        # still in a lane -- popping blindly would orphan the live entry.
+        if entry.rid is not None and self._by_rid.get(entry.rid) is entry:
+            del self._by_rid[entry.rid]
         self._live -= 1
         # Every predecessor of a *completed* entry has completed (chain
         # order), so nothing will ever need to walk past this entry.

@@ -9,7 +9,7 @@ serializable without a registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Tuple
+from typing import Any, FrozenSet, Optional, Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +40,16 @@ class Reply:
     ``position`` is the global processing order of the request, the
     "reply number" used throughout the paper's proofs (Appendix A).
     ``value`` is the actual state-machine result.
+
+    ``slot`` is the *sequencer-assigned* epoch slot the replying replica
+    learned from the :class:`SeqOrder` that carried this rid (``None``
+    on conservative replies and on replies no order message backs).
+    Unlike ``position`` -- which is replica-local and legitimately skews
+    when a replica misses an order message under loss -- the slot is a
+    claim about what the sequencer *said*, so two replies disagreeing on
+    the (epoch, slot) of a rid is evidence of sequencer equivocation,
+    never of benign message loss.  Clients cross-check these order
+    certificates; see ``OARClient._record_order_certificate``.
     """
 
     rid: str
@@ -48,6 +58,7 @@ class Reply:
     weight: FrozenSet[str]
     epoch: int
     conservative: bool = False
+    slot: Optional[int] = None
 
     def __repr__(self) -> str:
         kind = "A" if self.conservative else "opt"
@@ -112,13 +123,58 @@ class ReadReply:
 
 @dataclass(frozen=True, slots=True)
 class SeqOrder:
-    """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10)."""
+    """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10).
+
+    ``start`` is the epoch slot of ``rids[0]``: the sequencer numbers
+    every rid it orders within an epoch consecutively, so a replica can
+    detect a *gap* (a lost order message) instead of silently adopting
+    a shifted optimistic order, and each rid's slot (``start + index``)
+    is a loss-invariant order certificate for equivocation detection.
+    Under FIFO benign links ``start`` always equals the count already
+    accepted, which keeps the hardened accept path byte-identical to
+    the original protocol.
+    """
+
+    epoch: int
+    rids: Tuple[str, ...]
+    start: int = 0
+
+    def __repr__(self) -> str:
+        return f"SeqOrder(k={self.epoch}, {{{';'.join(self.rids)}}})"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderNack:
+    """Anti-entropy: "I hold order slots for rids whose bodies I miss".
+
+    Requests travel by R-multicast (n-squared relay paths: robust to
+    loss), but under sustained drop a replica can still learn a rid
+    from a :class:`SeqOrder` before any copy of the request body
+    arrives.  The periodic sync tick sends the missing rids to peers;
+    any peer holding the bodies answers with a :class:`BodyBatch`.
+    """
 
     epoch: int
     rids: Tuple[str, ...]
 
     def __repr__(self) -> str:
-        return f"SeqOrder(k={self.epoch}, {{{';'.join(self.rids)}}})"
+        return f"OrderNack(k={self.epoch}, {{{';'.join(self.rids)}}})"
+
+
+@dataclass(frozen=True, slots=True)
+class BodyBatch:
+    """The answer to an :class:`OrderNack`: the requested request bodies.
+
+    Receivers feed each body through the ordinary R-delivery path,
+    which is rid-idempotent (known bodies are dropped, cached replies
+    re-sent), so a duplicated or crossed batch is harmless.
+    """
+
+    requests: Tuple[Request, ...]
+
+    def __repr__(self) -> str:
+        rids = ";".join(request.rid for request in self.requests)
+        return f"BodyBatch({{{rids}}})"
 
 
 @dataclass(frozen=True, slots=True)

@@ -48,6 +48,8 @@ from repro.core.cnsv_order import (
     decision_from_vector,
 )
 from repro.core.messages import (
+    BodyBatch,
+    OrderNack,
     PhaseII,
     ReadReply,
     ReadRequest,
@@ -141,6 +143,17 @@ class OARConfig:
     exec_cost: float = 0.0
     exec_lanes: int = 1
 
+    #: Anti-entropy period for lossy links (``None`` disables -- the
+    #: paper's reliable-channel model needs none).  Every
+    #: ``sync_interval`` time units the sequencer re-sends its epoch's
+    #: cumulative order (repairing lost ordering messages, which travel
+    #: point-to-point and are otherwise sent exactly once), and every
+    #: server NACKs rids it holds order slots for without a request
+    #: body; peers answer with the bodies.  Both paths are idempotent,
+    #: so the knob is safe to leave on under benign links -- it simply
+    #: never fires a useful repair.
+    sync_interval: Optional[float] = None
+
     #: Verify the server's internal invariants after every task (state
     #: disjointness, undo-log alignment, request-body coverage).  Cheap
     #: enough for tests and debugging; off by default for big sweeps.
@@ -190,6 +203,8 @@ class OARConfig:
             raise ValueError("exec_cost must be >= 0")
         if not isinstance(self.exec_lanes, int) or self.exec_lanes < 1:
             raise ValueError("exec_lanes must be an integer >= 1")
+        if self.sync_interval is not None and self.sync_interval < self.MIN_INTERVAL:
+            raise ValueError("sync_interval must be >= MIN_INTERVAL")
 
 
 class OARServer(ComponentProcess):
@@ -265,6 +280,22 @@ class OARServer(ComponentProcess):
         # Buffers for messages belonging to future epochs.
         self._future_orders: Dict[int, List[SeqOrder]] = {}
         self._future_phase2: Dict[int, str] = {}
+
+        # Epoch-slot bookkeeping (loss/equivocation hardening).  The
+        # sequencer numbers every rid it orders within an epoch
+        # consecutively (`SeqOrder.start`); replicas accept orders only
+        # contiguously (`_epoch_accepted` counts accepted slots,
+        # out-of-order arrivals wait in `_order_gaps`) so a lost order
+        # message can never silently shift the optimistic order.
+        # `_epoch_order` is the sequencer's cumulative emission (re-sent
+        # by the anti-entropy tick); `_order_slots` maps each accepted
+        # rid to its sequencer-assigned slot -- the order certificate
+        # optimistic replies carry for client-side equivocation
+        # cross-checking.  All reset at every epoch settle.
+        self._epoch_order: List[str] = []
+        self._epoch_accepted = 0
+        self._order_gaps: Dict[int, SeqOrder] = {}
+        self._order_slots: Dict[str, int] = {}
 
         # Epochs for which this process already R-broadcast PhaseII.
         self._phase2_requested: Set[int] = set()
@@ -355,6 +386,8 @@ class OARServer(ComponentProcess):
             self._schedule_batch_tick()
         if self.config.gc_interval is not None:
             self._schedule_gc_tick()
+        if self.config.sync_interval is not None:
+            self._schedule_sync_tick()
         self.env.trace("epoch_start", epoch=0, sequencer=self.current_sequencer)
 
     def _schedule_batch_tick(self) -> None:
@@ -371,6 +404,49 @@ class OARServer(ComponentProcess):
             self._schedule_gc_tick()
 
         self.env.set_timer(self.config.gc_interval, tick)
+
+    def _schedule_sync_tick(self) -> None:
+        def tick() -> None:
+            self._sync_tick()
+            self._schedule_sync_tick()
+
+        self.env.set_timer(self.config.sync_interval, tick)
+
+    def _sync_tick(self) -> None:
+        """Anti-entropy against lossy links (OARConfig.sync_interval).
+
+        Two repairs, both idempotent at the receiver:
+
+        * The sequencer re-sends its epoch's *cumulative* order
+          (``start=0``): ordering messages travel point-to-point and
+          are otherwise sent exactly once, so one drop would desync a
+          replica's optimistic order for the rest of the epoch.
+        * Any server holding order slots without the request bodies
+          NACKs the missing rids to its peers, who answer with a
+          :class:`BodyBatch` -- covering the tail case where every
+          R-multicast relay copy of a request was lost on the links to
+          one replica.
+        """
+        if self.phase == 1 and self.is_sequencer and self._epoch_order:
+            order = SeqOrder(self.epoch, tuple(self._epoch_order), 0)
+            self.env.trace(
+                "seq_sync", epoch=self.epoch, count=len(self._epoch_order)
+            )
+            send = self.env.send
+            for member in self.peers:
+                send(member, order)
+        missing = [rid for rid in self._opt_pending if rid not in self.requests]
+        result = self._pending_result
+        if result is not None:
+            missing.extend(
+                rid for rid in result.new if rid not in self.requests
+            )
+        if missing:
+            nack = OrderNack(self.epoch, tuple(dict.fromkeys(missing)))
+            self.env.trace("order_nack", epoch=self.epoch, rids=nack.rids)
+            send = self.env.send
+            for member in self.peers:
+                send(member, nack)
 
     # ------------------------------------------------------------------
     # Task 0: buffer incoming client messages (and PhaseII notifications)
@@ -450,7 +526,8 @@ class OARServer(ComponentProcess):
         self._maybe_order()
 
     def _send_order(self, not_delivered: MessageSequence) -> None:
-        order = SeqOrder(self.epoch, not_delivered.items)
+        order = SeqOrder(self.epoch, not_delivered.items, len(self._epoch_order))
+        self._epoch_order.extend(not_delivered.items)
         self.env.trace("seq_order", epoch=self.epoch, rids=order.rids)
         send = self.env.send
         for member in self.peers:
@@ -469,6 +546,27 @@ class OARServer(ComponentProcess):
             self._task1b_order(src, payload)
         elif isinstance(payload, ReadRequest):
             self._on_read_request(payload)
+        elif isinstance(payload, OrderNack):
+            self._on_order_nack(src, payload)
+        elif isinstance(payload, BodyBatch):
+            self._on_body_batch(payload)
+
+    def _on_order_nack(self, src: str, nack: OrderNack) -> None:
+        """Anti-entropy: answer a peer's missing-body NACK."""
+        known = tuple(
+            self.requests[rid] for rid in nack.rids if rid in self.requests
+        )
+        if known:
+            self.env.send(src, BodyBatch(known))
+
+    def _on_body_batch(self, batch: BodyBatch) -> None:
+        """Feed repaired request bodies through the ordinary Task 0 path.
+
+        ``_task0_request`` is rid-idempotent (known bodies only re-send
+        the cached reply), so duplicated or crossed batches are safe.
+        """
+        for request in batch.requests:
+            self._task0_request(request)
 
     # ------------------------------------------------------------------
     # Replica-local reads (never ordered; see OARConfig.read_mode)
@@ -552,7 +650,45 @@ class OARServer(ComponentProcess):
             return
         if src != self.current_sequencer:
             return  # only the epoch's sequencer may order (defensive)
-        for rid in order.rids:
+        self._accept_order(order)
+        if self._order_gaps:
+            self._drain_order_gaps()
+        self._drain_opt_pending()
+
+    def _accept_order(self, order: SeqOrder) -> None:
+        """Accept an ordering message's slots, contiguously.
+
+        The sequencer numbers its epoch's rids consecutively, so a
+        replica knows exactly which slots it has accepted
+        (``_epoch_accepted``).  An order starting beyond that count
+        means an earlier ordering message is missing (lost or still in
+        flight): it waits in ``_order_gaps`` rather than being adopted
+        at a silently shifted position.  An order starting below it is
+        a duplicate or an anti-entropy resend: the already-accepted
+        prefix is skipped, only genuinely new slots are adopted.  Under
+        benign FIFO links ``start == _epoch_accepted`` always, and this
+        reduces exactly to the original accept loop.
+        """
+        accepted = self._epoch_accepted
+        if order.start > accepted:
+            existing = self._order_gaps.get(order.start)
+            if existing is None or len(order.rids) > len(existing.rids):
+                self._order_gaps[order.start] = order
+            self.env.trace(
+                "order_gap",
+                epoch=order.epoch,
+                start=order.start,
+                accepted=accepted,
+            )
+            return
+        skip = accepted - order.start
+        if skip >= len(order.rids):
+            return  # stale duplicate: every slot already accepted
+        slot = accepted
+        for rid in order.rids[skip:]:
+            self._epoch_accepted += 1
+            self._order_slots[rid] = slot
+            slot += 1
             if (
                 rid in self.a_delivered
                 or rid in self.o_delivered
@@ -560,7 +696,17 @@ class OARServer(ComponentProcess):
             ):
                 continue
             self._opt_pending.append(rid)
-        self._drain_opt_pending()
+
+    def _drain_order_gaps(self) -> None:
+        """Adopt buffered out-of-order SeqOrders once their gap closes."""
+        progressed = True
+        while progressed and self._order_gaps:
+            progressed = False
+            for start in sorted(self._order_gaps):
+                if start <= self._epoch_accepted:
+                    self._accept_order(self._order_gaps.pop(start))
+                    progressed = True
+                    break
 
     def _drain_opt_pending(self) -> None:
         """Opt-deliver ordered requests whose bodies have arrived, in order."""
@@ -647,6 +793,11 @@ class OARServer(ComponentProcess):
             weight=weight,
             epoch=epoch,
             conservative=False,
+            # The order certificate: the sequencer-assigned epoch slot
+            # this replica learned for the rid (clients cross-check
+            # certificates for equivocation).  None if the slots were
+            # already reset by an epoch settle.
+            slot=self._order_slots.get(rid),
         )
         self._reply_cache[rid] = reply
         self.env.send(request.client, reply)
@@ -736,14 +887,29 @@ class OARServer(ComponentProcess):
         # still waiting for (or occupying) a lane is detached -- it never
         # touched the state, so its undo entry is a pending no-op --
         # while an executed op has, by chain order, no conflicting
-        # successor mid-flight, so its resolved inverse runs safely.
+        # successor mid-flight.  Executed inverses are *charged*: they
+        # occupy an execution lane for exec_cost x the op's weight, just
+        # like the forward execution did (inverses submitted in reverse
+        # order chain correctly among themselves via the same conflict
+        # footprints, and New redos below chain behind them).
         for rid in reversed(result.bad.items):
             self.engine.cancel(rid)
-            self.undo_log.undo_last(rid)
+            undo = self.undo_log.pop_last(rid)
             # The cached reply reflects the undone execution; drop it
             # until the message is delivered again.
             self._reply_cache.pop(rid, None)
             self.env.trace("opt_undeliver", rid=rid, epoch=epoch)
+            if undo is None:
+                continue  # cancelled before execution: state untouched
+            request = self.requests[rid]
+            self.engine.submit_inverse(
+                rid,
+                request.op,
+                undo,
+                lambda lane, rid=rid: self.env.trace(
+                    "undo_exec", rid=rid, epoch=epoch, lane=lane
+                ),
+            )
 
         # Fig. 6, lines 27-29: A-deliver New, reply with weight Π.
         # A-delivery (the position in the settled order) is decided
@@ -775,6 +941,12 @@ class OARServer(ComponentProcess):
         self.epoch = epoch + 1
         self.phase = 1
         self._opt_delivery_count_this_epoch = 0
+        # Epoch-slot bookkeeping restarts with the epoch: slots are
+        # per-epoch, and the new sequencer numbers from zero.
+        self._epoch_order.clear()
+        self._epoch_accepted = 0
+        self._order_gaps.clear()
+        self._order_slots.clear()
         if self.config.rotate_sequencer:
             self.sequencer_index = (self.sequencer_index + 1) % len(self.group)
         self.env.trace(

@@ -80,9 +80,11 @@ def crash_during_multicast(
 class FaultAction:
     """One timed action in a :class:`FaultSchedule`.
 
-    ``kind`` is one of ``crash``, ``partition``, ``heal``, ``suspect``,
-    ``unsuspect``.  ``target`` is a pid for crash/suspect/unsuspect, a
-    sequence of groups for partition, and unused for heal.  Suspicion
+    ``kind`` is one of ``crash``, ``partition``, ``heal``, ``oneway``,
+    ``heal_oneway``, ``suspect``, ``unsuspect``.  ``target`` is a pid for
+    crash/suspect/unsuspect, a sequence of groups for partition, a
+    sequence of ``(src, dst)`` link directions for oneway, and unused
+    for heal/heal_oneway.  Suspicion
     actions require ``detectors`` to be passed to :meth:`FaultSchedule.apply`
     (they force the scripted/heartbeat detector of *every* process, i.e. a
     network-wide simultaneous suspicion; per-process scripting can use the
@@ -117,6 +119,25 @@ class FaultSchedule:
         self.actions.append(FaultAction(time, "heal"))
         return self
 
+    def oneway(self, time: float, pairs: Sequence[Sequence[str]]) -> "FaultSchedule":
+        """Add an asymmetric partition at ``time``.
+
+        ``pairs`` is a sequence of ``(src, dst)`` link directions to
+        mute (either side may be ``"*"``); traffic on the muted
+        directions is *held* by the network's fault plane, the reverse
+        directions stay up.  Released by :meth:`heal_oneway`.
+        """
+        self.actions.append(
+            FaultAction(time, "oneway", tuple(tuple(p) for p in pairs))
+        )
+        return self
+
+    def heal_oneway(self, time: float) -> "FaultSchedule":
+        """Heal all one-way blocks at ``time`` (a partition-heal storm:
+        every held message is released in one burst)."""
+        self.actions.append(FaultAction(time, "heal_oneway"))
+        return self
+
     def suspect(self, time: float, pid: str) -> "FaultSchedule":
         """Force every detector to suspect ``pid`` at ``time``."""
         self.actions.append(FaultAction(time, "suspect", pid))
@@ -149,6 +170,10 @@ def _make_action(
             network.set_partition(action.target)
         elif action.kind == "heal":
             network.heal()
+        elif action.kind == "oneway":
+            network.ensure_fault_plane().block_links(action.target)
+        elif action.kind == "heal_oneway":
+            network.ensure_fault_plane().heal()
         elif action.kind == "suspect":
             for detector in detectors:
                 detector.force_suspect(action.target)

@@ -106,6 +106,11 @@ class ScenarioConfig:
 
     fault_schedule: Optional[FaultSchedule] = None
 
+    #: Link-fault-plane installer; called with the built
+    #: :class:`~repro.sim.network.SimNetwork` right after construction
+    #: (e.g. ``lambda net: install_uniform_faults(net, drop=0.05)``).
+    faults: Optional[Callable[[SimNetwork], None]] = None
+
     #: Hook for surgical fault injection; called with the built
     #: :class:`ScenarioRun` before the simulation starts (e.g. to arm a
     #: crash-during-multicast interceptor).
@@ -246,8 +251,10 @@ class ScenarioRun:
                 self.servers,
                 lambda: _make_machine(self.config.machine),
             )
+            checkers.check_fault_plane_accounting(trace, self.network)
         else:
             checkers.check_replica_convergence(self.servers)
+            checkers.check_fault_plane_accounting(trace, self.network)
 
 
 _MACHINE_CLASSES = {
@@ -299,6 +306,8 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
         trace_messages=config.trace_messages,
         trace_level=config.trace_level,
     )
+    if config.faults is not None:
+        config.faults(network)
 
     oar_config = config.oar.with_exec_overrides(config.exec_cost, config.exec_lanes)
     group = [f"p{i + 1}" for i in range(config.n_servers)]

@@ -146,6 +146,11 @@ class ShardedScenarioConfig:
     retry_interval: Optional[float] = None
 
     fault_schedule: Optional[FaultSchedule] = None
+
+    #: Link-fault-plane installer; called with the built
+    #: :class:`~repro.sim.network.SimNetwork` right after construction.
+    faults: Optional[Callable[[SimNetwork], None]] = None
+
     arm: Optional[Callable[["ShardedRun"], None]] = None
 
     horizon: float = 20_000.0
@@ -317,6 +322,7 @@ class ShardedRun:
             expected_total=self.initial_total,
             quiescent=quiescent,
         )
+        checkers.check_fault_plane_accounting(self.trace, self.network)
         if self.config.machine in MIGRATABLE_MACHINES:
             # A coordinator crash strands its migrations without making
             # the run non-quiescent (all_done excludes crashed
@@ -464,6 +470,8 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
         trace_messages=config.trace_messages,
         trace_level=config.trace_level,
     )
+    if config.faults is not None:
+        config.faults(network)
 
     key_universe = _key_universe(config)
     router = make_router(config.router, config.n_shards, key_universe)

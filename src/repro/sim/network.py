@@ -23,12 +23,25 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.loop import Simulator, TimerHandle
 from repro.sim.process import Process, ProcessEnv
 from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.sim.faultplane import FaultPlane
 
 #: Interceptor signature: (src, dst, payload) -> deliver?  Returning False
 #: drops the message (used only by fault-injection scenarios; the normal
@@ -43,7 +56,7 @@ class Envelope:
     allocated per message, so construction cost is hot-path cost.
     """
 
-    __slots__ = ("seq", "src", "dst", "payload", "send_time")
+    __slots__ = ("seq", "src", "dst", "payload", "send_time", "checksum")
 
     def __init__(
         self, seq: int, src: str, dst: str, payload: Any, send_time: float
@@ -53,6 +66,9 @@ class Envelope:
         self.dst = dst
         self.payload = payload
         self.send_time = send_time
+        # Wire checksum, stamped by the fault plane when corruption is
+        # possible; None means "trusted link, skip verification".
+        self.checksum: Optional[int] = None
 
     def __repr__(self) -> str:
         return (
@@ -145,6 +161,17 @@ class SimNetwork:
         self._held: List[Envelope] = []
         self._messages_sent = 0
         self._messages_delivered = 0
+        self._messages_dropped = 0
+        #: Corrupted payloads detected (checksum mismatch) and dropped
+        #: at delivery instead of being handed to the protocol.
+        self.corrupt_dropped = 0
+        # Checksummed envelopes scheduled but not yet at their delivery
+        # gate: the accounting checker must be able to find a corrupted
+        # payload that is still in flight when the run is cut off.
+        # Only fault-plane-stamped envelopes are tracked, so golden runs
+        # never touch this set.
+        self._in_flight_checksummed: set = set()
+        self._fault_plane: Optional["FaultPlane"] = None
         self._rng = sim.child_rng("network")
 
     # ------------------------------------------------------------------
@@ -167,6 +194,44 @@ class SimNetwork:
     @property
     def messages_delivered(self) -> int:
         return self._messages_delivered
+
+    @property
+    def messages_dropped(self) -> int:
+        """Sends suppressed by interceptors (scripted fault injection)."""
+        return self._messages_dropped
+
+    @property
+    def fault_plane(self) -> Optional["FaultPlane"]:
+        return self._fault_plane
+
+    def ensure_fault_plane(self) -> "FaultPlane":
+        """The installed fault plane, creating one on first use.
+
+        Idempotent: fault schedules, scenario ``faults`` hooks, and
+        tests can all compose policies onto the same plane.
+        """
+        if self._fault_plane is None:
+            from repro.sim.faultplane import FaultPlane
+
+            self._fault_plane = FaultPlane(self)
+        return self._fault_plane
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate message/fault counters for the run report.
+
+        Fault-free runs must report zero for every fault counter --
+        the golden-run assertions and the accounting checker both rely
+        on that.
+        """
+        stats = {
+            "sent": self._messages_sent,
+            "delivered": self._messages_delivered,
+            "intercepted": self._messages_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
+        if self._fault_plane is not None:
+            stats.update(self._fault_plane.stats())
+        return stats
 
     def add_process(self, process: Process) -> None:
         """Register a process.  Call :meth:`start_all` (or start it yourself)."""
@@ -280,6 +345,7 @@ class SimNetwork:
         if self._interceptors:
             for interceptor in list(self._interceptors):
                 if not interceptor(src, dst, payload):
+                    self._messages_dropped += 1
                     if self.trace_messages:
                         self.trace.record(
                             self.sim.now, src, "msg_dropped", dst=dst, payload=payload,
@@ -289,30 +355,76 @@ class SimNetwork:
         envelope = Envelope(next(self._seq), src, dst, payload, self.sim.now)
         if self.trace_messages:
             self.trace.record(self.sim.now, src, "msg_send", dst=dst, payload=payload)
+        if self._fault_plane is not None:
+            # The plane re-enters via _dispatch_from_plane for every
+            # copy it decides to put on the wire.
+            self._fault_plane.process(envelope)
+            return
         if self._group_of is not None and self._crosses_partition(src, dst):
             self._held.append(envelope)
             return
         self._schedule_delivery(envelope)
 
-    def _schedule_delivery(self, envelope: Envelope) -> None:
+    def _dispatch_from_plane(
+        self, envelope: Envelope, extra_delay: float, fifo: bool
+    ) -> None:
+        """Put one plane-approved envelope on the wire.
+
+        Group partitions still apply (the fault plane *composes* with
+        scripted symmetric partitions, it does not replace them).
+        """
+        if self._group_of is not None and self._crosses_partition(
+            envelope.src, envelope.dst
+        ):
+            self._held.append(envelope)
+            return
+        self._schedule_delivery(envelope, extra_delay, fifo)
+
+    def _schedule_delivery(
+        self, envelope: Envelope, extra_delay: float = 0.0, fifo: bool = True
+    ) -> None:
         if self._latency_is_const:
             delay = self.latency.delay
         else:
             delay = self.latency.sample(self._rng, envelope.src, envelope.dst)
-        channel = (envelope.src, envelope.dst)
-        last_arrival = self._last_arrival
-        arrival = self.sim.now + delay
-        # FIFO: never deliver before the previously scheduled arrival on
-        # this channel.
-        previous = last_arrival.get(channel, 0.0)
-        if previous > arrival:
-            arrival = previous
-        last_arrival[channel] = arrival
+        arrival = self.sim.now + delay + extra_delay
+        if fifo:
+            channel = (envelope.src, envelope.dst)
+            last_arrival = self._last_arrival
+            # FIFO: never deliver before the previously scheduled arrival
+            # on this channel.  Jittered and heal-storm deliveries bypass
+            # the floor (and leave it unchanged): reordering is the fault
+            # being injected.
+            previous = last_arrival.get(channel, 0.0)
+            if previous > arrival:
+                arrival = previous
+            last_arrival[channel] = arrival
         # Deliveries never cancel: handle-free scheduling skips the
         # TimerHandle allocation on every message.
+        if envelope.checksum is not None:
+            self._in_flight_checksummed.add(envelope)
         self.sim.post_at(arrival, lambda: self._deliver(envelope))
 
+    def in_flight_checksummed(self):
+        """Checksummed envelopes scheduled but not yet delivered/dropped."""
+        return iter(self._in_flight_checksummed)
+
     def _deliver(self, envelope: Envelope) -> None:
+        if envelope.checksum is not None:
+            self._in_flight_checksummed.discard(envelope)
+            from repro.sim.faultplane import wire_checksum
+
+            if wire_checksum(envelope.payload) != envelope.checksum:
+                # Detected-and-dropped: corrupted payloads never reach
+                # the protocol.  Checked before the crashed-destination
+                # discard so the accounting is exact either way.
+                self.corrupt_dropped += 1
+                if self.trace.enabled:
+                    self.trace.record(
+                        self.sim.now, envelope.dst, "msg_corrupt_drop",
+                        src=envelope.src, payload=envelope.payload,
+                    )
+                return
         if envelope.dst in self._crashed:
             return
         if self._group_of is not None and self._crosses_partition(envelope.src, envelope.dst):

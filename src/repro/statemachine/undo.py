@@ -103,6 +103,25 @@ class UndoLog:
         entry.undo()
         return True
 
+    def pop_last(self, expected_tag: str) -> Optional[Callable[[], None]]:
+        """Pop the most recent entry *without running it*, verifying the tag.
+
+        Same suffix discipline (and the same loud failure on
+        out-of-order pops) as :meth:`undo_last`, but the inverse closure
+        is returned unrun so the caller can charge its execution through
+        the engine's lane model.  Returns ``None`` when the entry was
+        still pending (the op never executed -- nothing to revert).
+        """
+        if not self._entries:
+            raise RuntimeError(f"undo of {expected_tag!r} with empty undo log")
+        entry = self._entries.pop()
+        if entry.tag != expected_tag:
+            raise RuntimeError(
+                f"out-of-order undo: expected {expected_tag!r}, found {entry.tag!r}"
+            )
+        self._pending.pop(entry.tag, None)
+        return entry.undo
+
     def commit(self) -> None:
         """Settle all pending entries (end of epoch): they can never be undone."""
         self._entries.clear()

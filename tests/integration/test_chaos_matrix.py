@@ -22,9 +22,19 @@ member of the tier-1 suite):
     Where to drop a failing run's trace digest + scenario description
     (default ``chaos-artifacts``); the CI job uploads this directory so
     a red matrix cell is reproducible from the artifact alone.
+``CHAOS_FAULTS``
+    Link-fault profile layered on *every* scenario in the module:
+    ``off`` (benign channels, the default), ``lossdup`` (drop +
+    duplication on the client<->server links, duplication on the
+    server<->server links -- the Cnsv-order consensus assumes reliable
+    channels, so server-side loss is exercised by the dedicated cells
+    below, not blanket-injected under crash-driven phase 2), or
+    ``asym`` (a mid-run one-way mute of one replica's outbound links,
+    healed in a single release storm).
 """
 
 import os
+from dataclasses import replace
 
 import pytest
 
@@ -34,6 +44,9 @@ from repro.sharding import (
     attach_rebalancer,
     run_sharded_scenario,
 )
+from repro.core.messages import SeqOrder
+from repro.core.server import OARConfig
+from repro.sim.faultplane import LinkFaultPolicy, install_uniform_faults
 from repro.sim.latency import ConstantLatency, NormalLatency, UniformLatency
 
 pytestmark = pytest.mark.integration
@@ -41,8 +54,14 @@ pytestmark = pytest.mark.integration
 SEED = int(os.environ.get("CHAOS_SEED", "0"))
 LATENCY = os.environ.get("CHAOS_LATENCY", "constant")
 ARTIFACT_DIR = os.environ.get("CHAOS_ARTIFACT_DIR", "chaos-artifacts")
+FAULTS = os.environ.get("CHAOS_FAULTS", "off")
 
 LATENCY_PROFILES = ("constant", "jitter", "tail")
+FAULT_PROFILES = ("off", "lossdup", "asym")
+
+#: Client-side pids the lossdup profile targets (clients and the
+#: rebalance coordinators scenarios may attach).
+CLIENT_PIDS = ("c1", "c2", "c3", "rb1", "rb2")
 
 
 def make_latency():
@@ -57,6 +76,53 @@ def make_latency():
     )
 
 
+def install_client_link_faults(network, drop=0.04, duplicate=0.04, server_dup=0.03):
+    """Drop + duplicate on every client<->server link, dup-only between servers.
+
+    The consensus layer (phase 2) assumes reliable server channels, so
+    blanket server-side loss under crash-driven failovers could stall a
+    round forever -- duplication, however, is provably absorbed
+    everywhere (R-multicast mid-dedup, per-src consensus buckets,
+    idempotent request/order paths), so it is injected on every link.
+    """
+    plane = network.ensure_fault_plane()
+    lossy = LinkFaultPolicy(drop=drop, duplicate=duplicate)
+    for pid in CLIENT_PIDS:
+        plane.add_policy(lossy, src=pid)
+        plane.add_policy(lossy, dst=pid)
+    plane.add_policy(LinkFaultPolicy(duplicate=server_dup))
+    return plane
+
+
+def with_chaos_faults(config):
+    """Layer the ``CHAOS_FAULTS`` profile onto one scenario config."""
+    if FAULTS == "off":
+        return config
+    if FAULTS == "lossdup":
+        base = config.faults
+
+        def faults(network, base=base):
+            if base is not None:
+                base(network)
+            install_client_link_faults(network)
+
+        return config.with_changes(
+            faults=faults,
+            oar=replace(config.oar, sync_interval=15.0),
+        )
+    if FAULTS == "asym":
+        schedule = config.fault_schedule or FaultSchedule()
+        # One replica's outbound links go mute mid-run (heartbeats,
+        # replies, relays -- everything it says disappears while it
+        # still hears the world), then a single heal storm releases the
+        # whole backlog at once.
+        schedule.oneway(25.0, [("s0.p2", "*")]).heal_oneway(60.0)
+        return config.with_changes(fault_schedule=schedule)
+    raise ValueError(
+        f"unknown CHAOS_FAULTS {FAULTS!r} (choose from {FAULT_PROFILES})"
+    )
+
+
 def run_with_artifact(name, config, extra_checks=None):
     """Run + check a scenario; on failure, dump a reproducible artifact.
 
@@ -64,6 +130,7 @@ def run_with_artifact(name, config, extra_checks=None):
     the run's trace digest) is everything needed to replay a red matrix
     cell locally.
     """
+    config = with_chaos_faults(config)
     run = run_sharded_scenario(config)
     try:
         assert run.all_done(), "chaos run did not reach quiescence"
@@ -72,10 +139,12 @@ def run_with_artifact(name, config, extra_checks=None):
             extra_checks(run)
     except BaseException as failure:
         os.makedirs(ARTIFACT_DIR, exist_ok=True)
-        path = os.path.join(ARTIFACT_DIR, f"{name}-s{SEED}-{LATENCY}.txt")
+        path = os.path.join(
+            ARTIFACT_DIR, f"{name}-s{SEED}-{LATENCY}-{FAULTS}.txt"
+        )
         with open(path, "w") as handle:
             handle.write(f"scenario: {name}\n")
-            handle.write(f"seed: {SEED}\nlatency: {LATENCY}\n")
+            handle.write(f"seed: {SEED}\nlatency: {LATENCY}\nfaults: {FAULTS}\n")
             handle.write(f"config: {config!r}\n")
             handle.write(f"failure: {failure}\n")
             handle.write(f"trace digest: {run.trace.digest()}\n")
@@ -397,3 +466,264 @@ class TestChaosMatrix:
                 assert client.outstanding == 0
 
         run_with_artifact("split-parallel-exec-crash", config, extra)
+
+
+class TestChaosLinkFaults:
+    """Link faults composed with the crash/migration/split chaos cells.
+
+    The cells above assume reliable channels unless ``CHAOS_FAULTS``
+    says otherwise; these cells bake specific link-fault shapes into the
+    scenario itself, so every matrix row (including ``off``) exercises
+    loss, duplication, corruption, reordering and one-way partitions
+    *combined with* the crash-driven machinery.
+    """
+
+    def test_link_loss_during_sequencer_crash_failover(self):
+        # Lossy client links while shard 0's sequencer dies: phase 2
+        # consensus runs over the (reliable, but duplicating) server
+        # links, retransmission + anti-entropy repair the client side.
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=10,
+            machine="kv",
+            workload="uniform",
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            oar=OARConfig(sync_interval=15.0),
+            faults=install_client_link_faults,
+            fault_schedule=FaultSchedule().crash(12.0 + (SEED % 3), "s0.p1"),
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 700,
+        )
+
+        def extra(run):
+            plane = run.network.fault_plane
+            assert plane.dropped + plane.duplicated > 0
+            for client in run.clients:
+                assert client.outstanding == 0
+
+        run_with_artifact("link-loss-sequencer-crash", config, extra)
+
+    def test_asym_partition_heal_storm_during_migration(self):
+        # One replica's outbound links go mute while keys migrate: its
+        # held replies/relays/heartbeats all land at once in the heal
+        # storm, and migration atomicity must survive the burst.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+
+            def kick():
+                n = run.config.n_shards
+                for key in run.key_universe[:2]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            coordinator.schedule(12.0, kick)
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=12,
+            machine="kv",
+            workload="zipf",
+            zipf_s=1.4,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            fault_schedule=(
+                FaultSchedule()
+                .oneway(20.0, [("s1.p3", "*")])
+                .heal_oneway(55.0)
+            ),
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 800,
+        )
+
+        def extra(run):
+            assert run.rebalancers[0].done
+            plane = run.network.fault_plane
+            assert plane.held > 0
+            assert plane.pending_held == 0  # the storm released everything
+
+        run_with_artifact("asym-heal-storm-migration", config, extra)
+
+    def test_duplicated_control_plane_during_split_and_crash(self):
+        # Every migration/split control message is delivered twice while
+        # a replica dies mid-split: idempotent install/open/close paths
+        # must absorb the duplicates even across the failover.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+            hot = run.key_universe[0]
+
+            def kick():
+                coordinator.split_key(hot, 2)
+                src = run.routing_table.shard_of(run.key_universe[1])
+                coordinator.migrate(
+                    run.key_universe[1], (src + 1) % run.config.n_shards
+                )
+
+            coordinator.schedule(12.0, kick)
+            run.network.crash_at(18.0 + (SEED % 4), "s1.p2")
+
+        def faults(net):
+            for kind in ("mig_install", "split_open", "split_close"):
+                install_uniform_faults(net, duplicate=1.0, kind=kind)
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=15,
+            machine="bank",
+            workload="hotkey",
+            hot_ratio=0.7,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            faults=faults,
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 900,
+        )
+
+        def extra(run):
+            coordinator = run.rebalancers[0]
+            assert coordinator.done
+            assert all(record.terminal for record in coordinator.journal)
+            assert run.network.fault_plane.duplicated > 0
+
+        run_with_artifact("dup-control-plane-split-crash", config, extra)
+
+    def test_corruption_under_parallel_lanes_and_migration(self):
+        # Random payload corruption on every link (detected-and-dropped
+        # at the checksum gate, i.e. uniform low-grade loss) while keys
+        # migrate and every replica executes on costed lanes.
+        def arm(run):
+            coordinator = attach_rebalancer(run, retry_delay=6.0)
+
+            def kick():
+                n = run.config.n_shards
+                for key in run.key_universe[:2]:
+                    src = run.routing_table.shard_of(key)
+                    coordinator.migrate(key, (src + 1) % n)
+
+            coordinator.schedule(14.0, kick)
+
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=12,
+            machine="kv",
+            workload="zipf",
+            zipf_s=1.3,
+            exec_cost=0.8,
+            exec_lanes=4,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            oar=OARConfig(sync_interval=15.0),
+            faults=lambda net: install_uniform_faults(net, corrupt=0.03),
+            arm=arm,
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 1000,
+        )
+
+        def extra(run):
+            assert run.rebalancers[0].done
+            plane = run.network.fault_plane
+            assert plane.corrupted > 0
+            # check_fault_plane_accounting (inside check_all) proves
+            # corrupt_dropped == corrupted; nothing corrupted applied.
+
+        run_with_artifact("corruption-parallel-lanes", config, extra)
+
+    def test_jitter_reorder_during_crash_failover(self):
+        # Per-message jitter breaks the FIFO floor on every link (real
+        # reordering, not just variable latency) while the sequencer
+        # dies: slot-contiguous order acceptance buffers the gaps.
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=12,
+            machine="bank",
+            workload="cross",
+            cross_ratio=0.4,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            faults=lambda net: install_uniform_faults(
+                net, jitter=0.3, jitter_span=4.0
+            ),
+            fault_schedule=FaultSchedule().crash(14.0 + (SEED % 3), "s0.p1"),
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 1100,
+        )
+
+        def extra(run):
+            assert run.network.fault_plane.jittered > 0
+
+        run_with_artifact("jitter-sequencer-crash", config, extra)
+
+    def test_equivocation_alarm_fires_under_every_latency_profile(self):
+        # The Byzantine cell: a scripted equivocating sequencer tells
+        # one replica a different order.  The clients' order
+        # certificates must raise the alarm under every latency profile
+        # of the matrix -- detection may not depend on benign timing.
+        from repro.core.client import OARClient
+        from repro.core.server import OARServer
+        from repro.failure.detector import ScriptedFailureDetector
+        from repro.sim.loop import Simulator
+        from repro.sim.network import SimNetwork
+        from repro.statemachine import CounterMachine
+
+        sim = Simulator(seed=SEED + 1200)
+        network = SimNetwork(sim, latency=make_latency())
+        group = ["p1", "p2", "p3"]
+        for pid in group:
+            network.add_process(
+                OARServer(
+                    pid, group, CounterMachine(), ScriptedFailureDetector(),
+                    OARConfig(batch_interval=5.0),
+                )
+            )
+        clients = [OARClient(f"c{i + 1}", group) for i in range(2)]
+        for client in clients:
+            network.add_process(client)
+        network.start_all()
+        plane = network.ensure_fault_plane()
+        swapped = []
+
+        def equivocate(src, dst, payload):
+            if swapped or src != "p1" or dst != "p3":
+                return None
+            if isinstance(payload, SeqOrder) and len(payload.rids) >= 2:
+                swapped.append(True)
+                rids = list(payload.rids)
+                rids[0], rids[1] = rids[1], rids[0]
+                return SeqOrder(payload.epoch, tuple(rids), payload.start)
+            return None
+
+        plane.add_rewrite(equivocate)
+        sim.schedule_at(0.0, lambda: clients[0].submit(("incr",)))
+        sim.schedule_at(0.0, lambda: clients[1].submit(("incr",)))
+        sim.run(until=200.0, max_events=200_000)
+        assert swapped, "the equivocating rewrite never fired"
+        alarms = sum(client.equivocations_detected for client in clients)
+        assert alarms > 0, "divergent order certificates went undetected"
+        assert network.trace.events(kind="equivocation_alarm")

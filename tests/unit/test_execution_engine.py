@@ -249,6 +249,82 @@ class TestCancelFencing:
         assert events == ["w1", "read"]
 
 
+class TestChargedInverses:
+    def test_inverse_occupies_a_lane_for_the_op_cost(self):
+        sim, machine, undo_log, engine = make_engine(lanes=1, cost=2.0)
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: None, True)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert machine.state() == {"x": 1}
+        undo = undo_log.pop_last("w1")
+        assert undo is not None
+        lanes = []
+        engine.submit_inverse("w1", ("set", "x", 1), undo, lanes.append)
+        assert machine.state() == {"x": 1}  # not undone at submit time
+        assert engine.backlog == 1  # quiescence waits for the inverse
+        sim.run()
+        assert sim.now == pytest.approx(4.0)  # charged, not free
+        assert machine.state() == {}
+        assert lanes == [0]
+        assert engine.inverses_executed == 1
+        assert engine.executed == 1  # forward executions only
+        assert engine.idle
+
+    def test_inverse_weight_follows_exec_cost_of(self):
+        # ("keys",) weighs 2x on the kv machine: its inverse does too.
+        sim, machine, undo_log, engine = make_engine(lanes=1, cost=1.0)
+        engine.submit("g", ("keys",), lambda r, lane: None, True)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        undo = undo_log.pop_last("g")
+        engine.submit_inverse("g", ("keys",), undo)
+        sim.run()
+        assert sim.now == pytest.approx(4.0)
+
+    def test_inline_inverse_runs_synchronously_and_uncounted(self):
+        sim, machine, undo_log, engine = make_engine(cost=0.0)
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: None, True)
+        undo = undo_log.pop_last("w1")
+        fired = []
+        engine.submit_inverse("w1", ("set", "x", 1), undo, fired.append)
+        assert machine.state() == {}  # undone before returning
+        assert fired == []  # inline path: no charged completion to trace
+        assert engine.inverses_executed == 0
+
+    def test_redo_chains_behind_conflicting_inverse(self):
+        sim, machine, undo_log, engine = make_engine(lanes=4, cost=1.0)
+        order = []
+        engine.submit("w1", ("set", "x", 1), lambda r, lane: order.append("w1"), True)
+        sim.run()
+        undo = undo_log.pop_last("w1")
+        engine.submit_inverse(
+            "w1", ("set", "x", 1), undo, lambda lane: order.append("undo")
+        )
+        # The New-epoch redo on the same key must wait for the inverse.
+        engine.submit("w2", ("set", "x", 2), lambda r, lane: order.append("w2"), False)
+        sim.run()
+        assert order == ["w1", "undo", "w2"]
+        assert machine.state() == {"x": 2}
+
+    def test_inverse_does_not_shadow_reregistered_forward_entry(self):
+        # The inverse shares its rid with the forward op; a re-delivered
+        # forward entry under the same rid must stay cancellable while
+        # the inverse drains.
+        sim, machine, undo_log, engine = make_engine(lanes=2, cost=1.0)
+        engine.submit("r1", ("set", "x", 1), lambda r, lane: None, True)
+        sim.run()
+        undo = undo_log.pop_last("r1")
+        engine.submit_inverse("r1", ("set", "x", 1), undo)
+        engine.submit("r1", ("set", "x", 9), lambda r, lane: None, True)
+        sim.run()
+        assert machine.state() == {"x": 9}
+        # The forward entry completed and left the rid map; cancel sees
+        # "already executed", not a stale inverse entry.
+        assert engine.cancel("r1") is True
+        assert undo_log.undo_last("r1") is True
+        assert machine.state() == {}
+
+
 class TestUndoLogLifecycle:
     def test_resolve_after_commit_is_ignored(self):
         log = UndoLog()
