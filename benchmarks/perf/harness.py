@@ -47,6 +47,7 @@ from repro.sim.network import SimNetwork
 from repro.sim.process import Process
 from repro.statemachine.kvstore import KVStoreMachine
 from repro.statemachine.undo import UndoLog
+from repro.workload.openloop import DiurnalProcess, LatencyRecorder
 
 #: Commit f35608a numbers (reference machine, see module docstring).
 PRE_PR_BASELINE: Dict[str, float] = {
@@ -180,6 +181,35 @@ def exec_engine_throughput(n: int) -> float:
         undo_log.commit()
     elapsed = time.perf_counter() - start
     assert completed[0] == n and engine.idle
+    return n / elapsed
+
+
+def openloop_arrivals(n: int) -> float:
+    """Arrivals/sec through the overload harness's per-op CPU work.
+
+    The open-loop driver's cost per offered arrival is one thinned
+    sample from the arrival process plus one streaming-recorder insert
+    (the token bucket and session pick are O(1) arithmetic on top).
+    This micro runs that pair -- a non-homogeneous
+    :class:`~repro.workload.openloop.DiurnalProcess` (the thinning loop
+    rejects ~half its candidates at mid rate, so it is the expensive
+    arrival shape) feeding a bucketed
+    :class:`~repro.workload.openloop.LatencyRecorder` -- so B16-style
+    sweeps stay dominated by protocol simulation, not harness overhead.
+    """
+    import random as _random
+
+    process = DiurnalProcess(base_rate=1.0, peak_rate=3.0, period=100.0)
+    recorder = LatencyRecorder(exact_limit=256)
+    rng = _random.Random(0)
+    t = 0.0
+    start = time.perf_counter()
+    for _ in range(n):
+        gap = process.next_gap(t, rng)
+        t += gap
+        recorder.record(gap + 0.5)
+    elapsed = time.perf_counter() - start
+    assert recorder.count == n
     return n / elapsed
 
 
@@ -374,6 +404,13 @@ BENCHES: List[Bench] = [
         "ops/s",
         True,
         lambda quick: exec_engine_throughput(30_000 if quick else 100_000),
+    ),
+    Bench(
+        "openloop_arrivals_per_sec",
+        "open-loop harness (diurnal thinning + recorder)",
+        "arrivals/s",
+        True,
+        lambda quick: openloop_arrivals(50_000 if quick else 200_000),
     ),
     Bench(
         "b5_wallclock_sec",

@@ -1173,6 +1173,194 @@ def check_fault_plane_accounting(trace: TraceLog, network: Any) -> Dict[str, int
 
 
 # ----------------------------------------------------------------------
+# Admission-control accounting (overload shedding, throttling)
+# ----------------------------------------------------------------------
+
+_ADMISSION_TRACE_KINDS = ("shed", "throttle", "shed_adopt")
+
+
+def check_admission_accounting(
+    trace: TraceLog,
+    servers: Sequence[Any],
+    clients: Sequence[Any],
+    drivers: Sequence[Any] = (),
+) -> Dict[str, int]:
+    """Every admission decision is counted, traced, and conserved.
+
+    Four families of assertion:
+
+    * **Counter/trace agreement** -- each server's ``shed`` /
+      ``reads_shed`` counter equals its ``shed`` trace events of the
+      matching bulkhead class; each client's ``overloaded`` counter
+      equals its ``shed_adopt`` events and its ``shed_rids`` size (a
+      shed can never be decided or surfaced silently).
+    * **At-most-once shedding** -- no server sheds the same write rid
+      twice (the notice cache makes retransmissions hit the cached
+      notice, not a fresh decision), and no client surfaces a rid twice.
+    * **The conservation law** -- for every driver that exposes the
+      open-loop counters (``offered`` etc.), exactly:
+      ``offered == throttled + admitted + shed + in_flight`` and
+      ``offered == throttled + len(submitted)``.  At quiescence
+      ``in_flight == 0``, so the ISSUE's headline identity
+      ``admitted + shed + throttled == offered`` is exact.
+    * **The zero baseline** -- when no server config enables a limit:
+      zero counters, zero sheds surfaced, and no ``shed``/``shed_adopt``
+      trace events at all.  (``throttle`` events are client-side and
+      gated separately on the drivers' buckets.)  This is the
+      idle-plane guarantee behind the digest-identity acceptance
+      criterion.
+
+    Returns the aggregate counters for reporting.
+    """
+    enabled = any(
+        getattr(server.config, "admission_limit", None) is not None
+        or getattr(server.config, "read_queue_limit", None) is not None
+        for server in servers
+    )
+    throttling = any(getattr(driver, "bucket", None) is not None for driver in drivers)
+
+    shed_events: Dict[str, Dict[str, int]] = defaultdict(lambda: {"write": 0, "read": 0})
+    surfaced_events: Dict[str, int] = defaultdict(int)
+    shed_write_rids: Set[Tuple[str, str]] = set()
+    surfaced_rids: Set[Tuple[str, str]] = set()
+    throttle_events = 0
+    if trace.enabled:
+        for event in trace.events(kind="shed"):
+            cls = event["cls"]
+            shed_events[event.pid][cls] += 1
+            if cls == "write":
+                key = (event.pid, event["rid"])
+                if key in shed_write_rids:
+                    raise CheckFailure(
+                        f"admission accounting: {event.pid} shed write "
+                        f"{event['rid']!r} twice"
+                    )
+                shed_write_rids.add(key)
+        for event in trace.events(kind="shed_adopt"):
+            key = (event.pid, event["rid"])
+            if key in surfaced_rids:
+                raise CheckFailure(
+                    f"admission accounting: {event.pid} surfaced shed "
+                    f"{event['rid']!r} twice"
+                )
+            surfaced_rids.add(key)
+            surfaced_events[event.pid] += 1
+        throttle_events = len(trace.events(kind="throttle"))
+
+    total_shed = 0
+    total_reads_shed = 0
+    for server in servers:
+        shed = getattr(server, "shed", 0)
+        reads_shed = getattr(server, "reads_shed", 0)
+        total_shed += shed
+        total_reads_shed += reads_shed
+        if trace.enabled:
+            counted = shed_events.get(server.pid, {"write": 0, "read": 0})
+            if shed != counted["write"]:
+                raise CheckFailure(
+                    f"admission accounting: {server.pid} shed={shed} "
+                    f"but {counted['write']} write 'shed' trace events"
+                )
+            if reads_shed != counted["read"]:
+                raise CheckFailure(
+                    f"admission accounting: {server.pid} "
+                    f"reads_shed={reads_shed} but {counted['read']} "
+                    f"read 'shed' trace events"
+                )
+
+    total_surfaced = 0
+    for client in clients:
+        overloaded = getattr(client, "overloaded", 0)
+        shed_rids = getattr(client, "shed_rids", set())
+        total_surfaced += overloaded
+        if overloaded != len(shed_rids):
+            raise CheckFailure(
+                f"admission accounting: {client.pid} overloaded={overloaded} "
+                f"but {len(shed_rids)} distinct shed rids"
+            )
+        if trace.enabled and overloaded != surfaced_events.get(client.pid, 0):
+            raise CheckFailure(
+                f"admission accounting: {client.pid} overloaded={overloaded} "
+                f"but {surfaced_events.get(client.pid, 0)} 'shed_adopt' events"
+            )
+
+    # A surfaced shed always stems from a server-side decision; the
+    # reverse need not hold (a notice can lose the race with a real
+    # reply after failover, or be counted late).
+    if total_surfaced > total_shed + total_reads_shed:
+        raise CheckFailure(
+            f"admission accounting: clients surfaced {total_surfaced} sheds "
+            f"but servers only decided {total_shed + total_reads_shed}"
+        )
+
+    total_offered = 0
+    total_throttled = 0
+    total_admitted = 0
+    total_driver_shed = 0
+    for driver in drivers:
+        if not hasattr(driver, "offered"):
+            continue  # closed/plain-open drivers have no admission ledger
+        in_flight = driver.in_flight
+        if driver.offered != driver.throttled + len(driver.submitted):
+            raise CheckFailure(
+                f"admission accounting: driver offered={driver.offered} != "
+                f"throttled={driver.throttled} + "
+                f"submitted={len(driver.submitted)}"
+            )
+        resolved = driver.throttled + driver.admitted + driver.shed + in_flight
+        if driver.offered != resolved:
+            raise CheckFailure(
+                f"admission accounting: driver offered={driver.offered} != "
+                f"throttled={driver.throttled} + admitted={driver.admitted} "
+                f"+ shed={driver.shed} + in_flight={in_flight}"
+            )
+        total_offered += driver.offered
+        total_throttled += driver.throttled
+        total_admitted += driver.admitted
+        total_driver_shed += driver.shed
+
+    if trace.enabled and (drivers or not throttling):
+        expected_throttles = sum(
+            getattr(driver, "throttled", 0) for driver in drivers
+        )
+        if throttle_events != expected_throttles:
+            raise CheckFailure(
+                f"admission accounting: {throttle_events} 'throttle' trace "
+                f"events but drivers throttled {expected_throttles}"
+            )
+
+    if not enabled:
+        if total_shed or total_reads_shed:
+            raise CheckFailure(
+                "admission accounting: no limits configured but servers "
+                f"shed {total_shed} writes / {total_reads_shed} reads"
+            )
+        if total_surfaced:
+            raise CheckFailure(
+                "admission accounting: no limits configured but clients "
+                f"surfaced {total_surfaced} sheds"
+            )
+        if trace.enabled:
+            for kind in ("shed", "shed_adopt"):
+                stray = trace.events(kind=kind)
+                if stray:
+                    raise CheckFailure(
+                        f"admission accounting: no limits configured but "
+                        f"{len(stray)} {kind!r} events are in the trace"
+                    )
+
+    return {
+        "shed": total_shed,
+        "reads_shed": total_reads_shed,
+        "surfaced": total_surfaced,
+        "offered": total_offered,
+        "throttled": total_throttled,
+        "admitted": total_admitted,
+        "driver_shed": total_driver_shed,
+    }
+
+
+# ----------------------------------------------------------------------
 # Baseline anomaly scoring (Figure 1(b))
 # ----------------------------------------------------------------------
 

@@ -52,8 +52,9 @@ from typing import (
 )
 
 from repro.broadcast.reliable import ReliableMulticast
+from repro.core.admission import Overloaded
 from repro.core.loadtrack import DecayingKeyLoad
-from repro.core.messages import ReadReply, ReadRequest, Reply, Request
+from repro.core.messages import ReadReply, ReadRequest, Reply, Request, ShedNotice
 from repro.core.server import READ_MODES
 from repro.sim.component import ComponentProcess
 from repro.statemachine.base import OpResult, WrongShard
@@ -242,6 +243,13 @@ class OARClient(ComponentProcess):
         self.read_rids: Set[str] = set()
         self.reads_adopted = 0
         self.read_retransmissions = 0
+        # Admission control: ops the sequencer refused under load.  Each
+        # surfaces as a failed OpResult wrapping Overloaded through the
+        # normal adoption callback; the rid set lets run-level checkers
+        # exclude shed ops from delivery-based properties (they were
+        # answered, deliberately never ordered).
+        self.overloaded = 0
+        self.shed_rids: Set[str] = set()
         # Sequencer-equivocation detection: optimistic replies carry an
         # *order certificate* -- the sequencer-assigned (epoch, slot) the
         # replying replica learned for the rid.  The client cross-checks
@@ -315,6 +323,8 @@ class OARClient(ComponentProcess):
             self._on_reply(src, payload)
         elif isinstance(payload, ReadReply):
             self._on_read_reply(src, payload)
+        elif isinstance(payload, ShedNotice):
+            self._on_shed(src, payload)
 
     # ------------------------------------------------------------------
     # Replica-local reads (OARConfig.read_mode)
@@ -620,6 +630,58 @@ class OARClient(ComponentProcess):
             epoch=reply.epoch,
             weight=adopted.weight,
             conservative=reply.conservative,
+            latency=adopted.latency,
+        )
+        self._record_adoption(adopted)
+
+    def _on_shed(self, src: str, notice: ShedNotice) -> None:
+        """Surface an admission refusal as a deterministic failed result.
+
+        The shed op resolves through :meth:`_record_adoption` like any
+        other outcome (so drivers see it via ``on_adopt`` and the
+        sharded client's transaction interception treats a shed branch
+        as a failed step), but it is traced as ``shed_adopt`` -- not
+        ``adopt`` -- because no delivery position backs it: the
+        external-consistency and total-order checkers must never see it.
+        A notice for an already-resolved rid (e.g. a successor sequencer
+        ordered the op after a failover and the real reply won the race)
+        counts as late, exactly like a stale reply.
+        """
+        rid = notice.rid
+        result = OpResult(
+            ok=False,
+            value=Overloaded(cls=notice.cls, queue=notice.queue, limit=notice.limit),
+            error="overloaded",
+        )
+        pending = self._pending.pop(rid, None)
+        if pending is not None:
+            submit_time = pending.submit_time
+        else:
+            read = self._reads.pop(rid, None)
+            if read is None:
+                self.late_replies += 1
+                return
+            if read.timer is not None:
+                read.timer.cancel()
+            submit_time = read.submit_time
+        self.overloaded += 1
+        self.shed_rids.add(rid)
+        adopted = AdoptedReply(
+            rid=rid,
+            value=result,
+            position=-1,
+            epoch=-1,
+            weight=(src,),
+            conservative=False,
+            submit_time=submit_time,
+            adopt_time=self.env.now,
+        )
+        self.env.trace(
+            "shed_adopt",
+            rid=rid,
+            cls=notice.cls,
+            queue=notice.queue,
+            limit=notice.limit,
             latency=adopted.latency,
         )
         self._record_adoption(adopted)

@@ -122,6 +122,28 @@ class ReadReply:
 
 
 @dataclass(frozen=True, slots=True)
+class ShedNotice:
+    """The sequencer's refusal under overload: a deterministic answer.
+
+    Sent point-to-point to the client when the admission queue (writes)
+    or the read queue (replica-local reads) is at its configured bound.
+    The request is *not* ordered; the client surfaces an
+    ``OpResult(ok=False, value=Overloaded(cls, queue, limit))`` through
+    the normal adoption callback so the caller observes the refusal
+    synchronously and can back off.  ``queue``/``limit`` advertise the
+    pressure at the decision point (see ``repro.core.admission``).
+    """
+
+    rid: str
+    cls: str
+    queue: int
+    limit: int
+
+    def __repr__(self) -> str:
+        return f"ShedNotice({self.rid}, {self.cls}, q={self.queue}/{self.limit})"
+
+
+@dataclass(frozen=True, slots=True)
 class SeqOrder:
     """The sequencer's ordering message ``(k, O_notdelivered)`` (Fig. 6, line 10).
 

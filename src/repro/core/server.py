@@ -41,6 +41,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.consensus.chandra_toueg import ConsensusManager
+from repro.core.admission import traffic_class
 from repro.core.execution import ExecutionEngine
 from repro.core.cnsv_order import (
     CnsvOrderResult,
@@ -56,6 +57,7 @@ from repro.core.messages import (
     Reply,
     Request,
     SeqOrder,
+    ShedNotice,
 )
 from repro.core.sequences import EMPTY, MessageSequence
 from repro.broadcast.reliable import ReliableMulticast
@@ -143,6 +145,23 @@ class OARConfig:
     exec_cost: float = 0.0
     exec_lanes: int = 1
 
+    #: Admission control (``None`` disables each bound -- the default,
+    #: which keeps the admission plane entirely off the hot path).
+    #: ``admission_limit`` bounds the *sequencer's* unordered backlog
+    #: (``|R_delivered| - |A_delivered| - |O_delivered|``): a write that
+    #: R-delivers at the sequencer while the backlog is at the bound is
+    #: *shed* -- answered with a deterministic
+    #: :class:`~repro.core.messages.ShedNotice` instead of being
+    #: ordered.  Control-plane operations (migration/split/2PC steps,
+    #: see ``repro.core.admission.traffic_class``) are bulkheaded: never
+    #: shed, whatever the backlog.  ``read_queue_limit`` bounds the
+    #: replica-local read queue the same way (only meaningful with a
+    #: positive ``read_cost``; the zero-cost path has no queue to
+    #: bound).  Shed decisions are deterministic functions of replica
+    #: state, so seeded runs shed identically.
+    admission_limit: Optional[int] = None
+    read_queue_limit: Optional[int] = None
+
     #: Anti-entropy period for lossy links (``None`` disables -- the
     #: paper's reliable-channel model needs none).  Every
     #: ``sync_interval`` time units the sequencer re-sends its epoch's
@@ -179,6 +198,23 @@ class OARConfig:
             overrides["exec_lanes"] = exec_lanes
         return replace(self, **overrides) if overrides else self
 
+    def with_admission_overrides(
+        self, admission_limit: Optional[int], read_queue_limit: Optional[int]
+    ) -> "OARConfig":
+        """A copy with the scenario-level admission overrides applied.
+
+        ``None`` keeps this config's value (normally: disabled).  Both
+        harnesses route their admission knobs through here, and the
+        no-override case returns ``self`` unchanged -- the digest-
+        identity guarantee for runs that never enable the plane.
+        """
+        overrides: Dict[str, Any] = {}
+        if admission_limit is not None:
+            overrides["admission_limit"] = admission_limit
+        if read_queue_limit is not None:
+            overrides["read_queue_limit"] = read_queue_limit
+        return replace(self, **overrides) if overrides else self
+
     def __post_init__(self) -> None:
         if self.batch_interval < 0:
             raise ValueError("batch_interval must be >= 0")
@@ -205,6 +241,10 @@ class OARConfig:
             raise ValueError("exec_lanes must be an integer >= 1")
         if self.sync_interval is not None and self.sync_interval < self.MIN_INTERVAL:
             raise ValueError("sync_interval must be >= MIN_INTERVAL")
+        if self.admission_limit is not None and self.admission_limit < 1:
+            raise ValueError("admission_limit must be >= 1 (or None to disable)")
+        if self.read_queue_limit is not None and self.read_queue_limit < 1:
+            raise ValueError("read_queue_limit must be >= 1 (or None to disable)")
 
 
 class OARServer(ComponentProcess):
@@ -316,6 +356,14 @@ class OARServer(ComponentProcess):
         self._read_queue: Deque[ReadRequest] = deque()
         self._read_busy = False
         self.reads_served = 0
+
+        # Admission control (OARConfig.admission_limit /
+        # read_queue_limit): shed counters by bulkhead class, plus the
+        # notice cache that makes shedding idempotent under client
+        # retransmission (mirroring the reply cache).
+        self.shed = 0
+        self.reads_shed = 0
+        self._shed_cache: Dict[str, ShedNotice] = {}
 
         # At-most-once execution with at-least-once replies: the last
         # reply sent per request, re-sent when a client retransmission
@@ -468,6 +516,13 @@ class OARServer(ComponentProcess):
             cached = self._reply_cache.get(request.rid)
             if cached is not None:
                 self.env.send(request.client, cached)
+            else:
+                notice = self._shed_cache.get(request.rid)
+                if notice is not None:
+                    self.env.send(request.client, notice)
+            return
+        if self._should_shed(request):
+            self._shed_request(request)
             return
         self.requests[request.rid] = request
         self.r_delivered = self.r_delivered.append(request.rid)
@@ -477,6 +532,65 @@ class OARServer(ComponentProcess):
             self._try_finish_phase2()
         if self.config.batch_interval == 0:
             self._maybe_order()
+
+    # ------------------------------------------------------------------
+    # Admission control (OARConfig.admission_limit / read_queue_limit)
+    # ------------------------------------------------------------------
+
+    @property
+    def admission_backlog(self) -> int:
+        """Unordered requests queued ahead of the sequencer, O(1).
+
+        ``|R_delivered| - |A_delivered| - |O_delivered|`` -- exact in
+        the fault-free regime (every delivered rid was R-delivered
+        first); clamped at zero because post-failover deliveries of
+        rids this replica shed (body known, never R-delivered here) can
+        make the difference go negative.
+        """
+        backlog = (
+            len(self.r_delivered) - len(self.a_delivered) - len(self.o_delivered)
+        )
+        return max(0, backlog)
+
+    def _should_shed(self, request: Request) -> bool:
+        """The shed decision: a pure function of config + replica state.
+
+        Only the current sequencer in phase 1 sheds: non-sequencers
+        merely buffer bodies (cheap, and their copy is what lets a shed
+        rid still be ordered by a successor sequencer -- see
+        ``_shed_request``), and phase 2 defers the decision to the new
+        epoch's sequencer, which sheds on arrival once its inherited
+        backlog exceeds the bound.  Control-plane operations are
+        bulkheaded past the check entirely.
+        """
+        limit = self.config.admission_limit
+        if limit is None or not self.is_sequencer or self.phase != 1:
+            return False
+        if traffic_class(request.op) == "control":
+            return False
+        return self.admission_backlog >= limit
+
+    def _shed_request(self, request: Request) -> None:
+        """Refuse a write deterministically: notice now, never ordered.
+
+        The body is still recorded in ``self.requests``: (a) it makes
+        the rid hit the at-most-once dedup branch, so retransmissions
+        re-send the cached notice instead of re-deciding; (b) if a
+        *successor* sequencer (which never shed this rid -- shedding is
+        sequencer-local) orders it after a failover, this replica can
+        opt-deliver it from the stored body instead of wedging in
+        ``_opt_pending``.  The client surfaces whichever answer arrives
+        first and counts the other as late.
+        """
+        queue = self.admission_backlog
+        limit = self.config.admission_limit
+        assert limit is not None
+        self.requests[request.rid] = request
+        self.shed += 1
+        notice = ShedNotice(rid=request.rid, cls="write", queue=queue, limit=limit)
+        self._shed_cache[request.rid] = notice
+        self.env.trace("shed", rid=request.rid, cls="write", queue=queue, limit=limit)
+        self.env.send(request.client, notice)
 
     # ------------------------------------------------------------------
     # Task 1a: the sequencer orders messages
@@ -575,6 +689,23 @@ class OARServer(ComponentProcess):
     def _on_read_request(self, read: ReadRequest) -> None:
         if self.config.read_cost <= 0:
             self._serve_read(read)
+            return
+        limit = self.config.read_queue_limit
+        if limit is not None and len(self._read_queue) >= limit:
+            # The read bulkhead: a read storm fills its *own* bounded
+            # queue and sheds there, never the write/admission queue.
+            self.reads_shed += 1
+            self.env.trace(
+                "shed", rid=read.rid, cls="read",
+                queue=len(self._read_queue), limit=limit,
+            )
+            self.env.send(
+                read.client,
+                ShedNotice(
+                    rid=read.rid, cls="read",
+                    queue=len(self._read_queue), limit=limit,
+                ),
+            )
             return
         self._read_queue.append(read)
         if not self._read_busy:

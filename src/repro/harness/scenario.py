@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 from repro.analysis import checkers
 from repro.broadcast.ct_abcast import CTAtomicBroadcastServer
 from repro.broadcast.sequencer import SequencerAtomicBroadcastServer
+from repro.core.admission import TokenBucket
 from repro.core.client import OARClient
 from repro.core.server import OARConfig, OARServer
 from repro.failure.detector import (
@@ -39,6 +40,7 @@ from repro.statemachine import (
     StackMachine,
 )
 from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.openloop import PoissonProcess, SessionedOpenLoopDriver
 from repro.workload.generators import (
     bank_ops,
     counter_ops,
@@ -95,11 +97,31 @@ class ScenarioConfig:
     n_keys: int = 16
     zipf_s: float = 1.2
 
-    #: "closed" (latency-oriented) or "open" (Poisson arrivals at
-    #: ``open_rate`` requests/time-unit per client).
+    #: "closed" (latency-oriented), "open" (Poisson arrivals at
+    #: ``open_rate`` requests/time-unit per client) or "session" (the
+    #: overload harness: an arrival process multiplexing ``n_sessions``
+    #: logical sessions per client, optional client-side token bucket,
+    #: streaming latency recorder -- see ``repro.workload.openloop``).
     driver: str = "closed"
     open_rate: float = 0.2
     think_time: float = 0.0
+    #: All drivers start submitting at this time (warm-up windowing:
+    #: B14 starts drivers after its topology change commits).
+    driver_start_at: float = 0.0
+    #: Session-driver knobs: the arrival process (None = Poisson at
+    #: ``open_rate``), sessions per client, the client-side token bucket
+    #: (``client_rate`` None disables throttling), and the warm-up cut
+    #: for the latency recorder (ops submitted before ``measure_from``
+    #: are excluded from percentiles).
+    arrival: Optional[Any] = None
+    n_sessions: int = 64
+    client_rate: Optional[float] = None
+    client_burst: float = 8.0
+    measure_from: float = 0.0
+    #: Admission-control overrides: None defers to the ``oar`` config
+    #: (default: disabled; see ``OARConfig.admission_limit``).
+    admission_limit: Optional[int] = None
+    read_queue_limit: Optional[int] = None
     #: Client retransmission pacing (lost replies / crashed read
     #: targets); None disables retransmission.
     retry_interval: Optional[float] = None
@@ -237,11 +259,14 @@ class ScenarioRun:
                 # Replica-local reads are never delivered by servers --
                 # they are answered, not ordered -- so they are not
                 # subject to the delivery-based at-least-once property.
-                read_rids = set()
+                # Shed requests likewise: refused deterministically,
+                # deliberately never ordered.
+                excluded = set()
                 for client in self.clients:
-                    read_rids |= getattr(client, "read_rids", set())
+                    excluded |= getattr(client, "read_rids", set())
+                    excluded |= getattr(client, "shed_rids", set())
                 ordered = [
-                    rid for rid in self.submitted_rids() if rid not in read_rids
+                    rid for rid in self.submitted_rids() if rid not in excluded
                 ]
                 checkers.check_at_least_once(
                     trace, self.correct_servers, ordered
@@ -252,6 +277,9 @@ class ScenarioRun:
                 lambda: _make_machine(self.config.machine),
             )
             checkers.check_fault_plane_accounting(trace, self.network)
+            checkers.check_admission_accounting(
+                trace, self.servers, self.clients, self.drivers
+            )
         else:
             checkers.check_replica_convergence(self.servers)
             checkers.check_fault_plane_accounting(trace, self.network)
@@ -309,7 +337,9 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
     if config.faults is not None:
         config.faults(network)
 
-    oar_config = config.oar.with_exec_overrides(config.exec_cost, config.exec_lanes)
+    oar_config = config.oar.with_exec_overrides(
+        config.exec_cost, config.exec_lanes
+    ).with_admission_overrides(config.admission_limit, config.read_queue_limit)
     group = [f"p{i + 1}" for i in range(config.n_servers)]
     detectors: Dict[str, FailureDetector] = {}
 
@@ -373,7 +403,7 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
                 ops,
                 total=config.requests_per_client,
                 think_time=config.think_time,
-                start_at=0.0,
+                start_at=config.driver_start_at,
             )
         elif config.driver == "open":
             driver = OpenLoopDriver(
@@ -383,6 +413,29 @@ def build_scenario(config: ScenarioConfig) -> ScenarioRun:
                 total=config.requests_per_client,
                 rate=config.open_rate,
                 rng=sim.child_rng(f"arrivals/{client.pid}"),
+                start_at=config.driver_start_at,
+            )
+        elif config.driver == "session":
+            bucket = (
+                TokenBucket(config.client_rate, burst=config.client_burst)
+                if config.client_rate is not None
+                else None
+            )
+            driver = SessionedOpenLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                arrival=(
+                    config.arrival
+                    if config.arrival is not None
+                    else PoissonProcess(config.open_rate)
+                ),
+                rng=sim.child_rng(f"arrivals/{client.pid}"),
+                n_sessions=config.n_sessions,
+                start_at=config.driver_start_at,
+                bucket=bucket,
+                measure_from=config.measure_from,
             )
         else:
             raise ValueError(f"unknown driver kind: {config.driver}")

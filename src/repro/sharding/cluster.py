@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis import checkers
+from repro.core.admission import TokenBucket
 from repro.core.client import ShardedOARClient
 from repro.core.server import OARConfig, OARServer
 from repro.failure.detector import (
@@ -54,6 +55,7 @@ from repro.statemachine import (
     StateMachine,
 )
 from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.openloop import PoissonProcess, SessionedOpenLoopDriver
 from repro.workload.generators import (
     counter_ops,
     cross_shard_bank_ops,
@@ -144,6 +146,21 @@ class ShardedScenarioConfig:
     #: it, instead of queueing stale-routed requests behind the change.
     driver_start_at: float = 0.0
     retry_interval: Optional[float] = None
+
+    #: "session" driver knobs (the overload harness, see
+    #: ``repro.workload.openloop``): the arrival process (None = Poisson
+    #: at ``open_rate``), sessions per client, the client-side token
+    #: bucket (``client_rate`` None disables throttling), and the
+    #: warm-up cut for the latency recorder.
+    arrival: Optional[Any] = None
+    n_sessions: int = 64
+    client_rate: Optional[float] = None
+    client_burst: float = 8.0
+    measure_from: float = 0.0
+    #: Admission-control overrides: None defers to the ``oar`` config
+    #: (default: disabled; see ``OARConfig.admission_limit``).
+    admission_limit: Optional[int] = None
+    read_queue_limit: Optional[int] = None
 
     fault_schedule: Optional[FaultSchedule] = None
 
@@ -298,12 +315,20 @@ class ShardedRun:
             coordinator.client.pid for coordinator in self.rebalancers
         ]
         initial_placement = self.router.placement(self.key_universe)
+        # Shed requests were routed but deterministically refused (never
+        # ordered); they are exempt from delivery-based properties.
+        shed_rids: set = set()
+        for client in self.clients:
+            shed_rids |= getattr(client, "shed_rids", set())
         for shard, servers in enumerate(self.shards):
+            routed = [
+                rid for rid in self.routed_to(shard) if rid not in shed_rids
+            ]
             checkers.check_single_shard_properties(
                 self.trace,
                 servers,
                 client_pids,
-                self.routed_to(shard),
+                routed,
                 strict=strict,
                 at_least_once=at_least_once and quiescent,
             )
@@ -323,6 +348,12 @@ class ShardedRun:
             quiescent=quiescent,
         )
         checkers.check_fault_plane_accounting(self.trace, self.network)
+        checkers.check_admission_accounting(
+            self.trace,
+            [server for servers in self.shards for server in servers],
+            self.clients,
+            self.drivers,
+        )
         if self.config.machine in MIGRATABLE_MACHINES:
             # A coordinator crash strands its migrations without making
             # the run non-quiescent (all_done excludes crashed
@@ -505,7 +536,9 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
 
         return build
 
-    oar_config = config.oar.with_exec_overrides(config.exec_cost, config.exec_lanes)
+    oar_config = config.oar.with_exec_overrides(
+        config.exec_cost, config.exec_lanes
+    ).with_admission_overrides(config.admission_limit, config.read_queue_limit)
     shards: List[List[OARServer]] = []
     for shard, group in enumerate(shard_groups):
         servers: List[OARServer] = []
@@ -568,6 +601,28 @@ def build_sharded_scenario(config: ShardedScenarioConfig) -> ShardedRun:
                 rate=config.open_rate,
                 rng=sim.child_rng(f"arrivals/{client.pid}"),
                 start_at=config.driver_start_at,
+            )
+        elif config.driver == "session":
+            bucket = (
+                TokenBucket(config.client_rate, burst=config.client_burst)
+                if config.client_rate is not None
+                else None
+            )
+            driver = SessionedOpenLoopDriver(
+                sim,
+                client,
+                ops,
+                total=config.requests_per_client,
+                arrival=(
+                    config.arrival
+                    if config.arrival is not None
+                    else PoissonProcess(config.open_rate)
+                ),
+                rng=sim.child_rng(f"arrivals/{client.pid}"),
+                n_sessions=config.n_sessions,
+                start_at=config.driver_start_at,
+                bucket=bucket,
+                measure_from=config.measure_from,
             )
         else:
             raise ValueError(f"unknown driver kind: {config.driver}")

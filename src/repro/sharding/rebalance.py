@@ -5,7 +5,9 @@ service-rate ceiling no matter how many groups exist (the B10b Zipf
 table).  This module adds the missing control loop: a
 :class:`RebalanceCoordinator` that
 
-1. **snapshots per-key load** from the clients' submission counters,
+1. **snapshots per-key load** from the clients' exponentially decayed
+   load trackers (:class:`~repro.core.loadtrack.DecayingKeyLoad`), so
+   the plan reflects *recent* demand, not lifetime totals,
 2. **plans key moves** off the hottest shard onto the coldest, and
 3. **executes each move as an escrow-style migration transaction** whose
    every step is an ordinary totally-ordered request on one shard --
@@ -164,7 +166,8 @@ class RebalanceCoordinator:
         The cluster's authoritative epoched routing table; mutated
         (epoch bump) when a migration's install is adopted.
     observed_clients:
-        Workload clients whose per-key submission counters feed
+        Workload clients whose decayed per-key load trackers
+        (:class:`~repro.core.loadtrack.DecayingKeyLoad`) feed
         :meth:`snapshot_key_load`.
     retry_delay / max_attempts:
         Pacing for ``mig_prepare`` retries when the source vetoes the

@@ -4,6 +4,10 @@ Operation generators produce deterministic, seeded streams of state-
 machine operations; drivers submit them through client processes either
 closed-loop (next request upon adoption -- the latency-oriented pattern)
 or open-loop (Poisson arrivals -- the throughput-oriented pattern).
+The overload harness (:mod:`repro.workload.openloop`) extends the
+open-loop side with non-homogeneous arrival processes (diurnal, flash
+crowd), session multiplexing, client-side token-bucket throttling and a
+streaming latency recorder.
 """
 
 from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
@@ -15,10 +19,22 @@ from repro.workload.generators import (
     stack_ops,
     zipfian_kv_ops,
 )
+from repro.workload.openloop import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    LatencyRecorder,
+    PoissonProcess,
+    SessionedOpenLoopDriver,
+)
 
 __all__ = [
     "ClosedLoopDriver",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "LatencyRecorder",
     "OpenLoopDriver",
+    "PoissonProcess",
+    "SessionedOpenLoopDriver",
     "bank_ops",
     "counter_ops",
     "cross_shard_bank_ops",

@@ -48,6 +48,7 @@ from repro.core.messages import SeqOrder
 from repro.core.server import OARConfig
 from repro.sim.faultplane import LinkFaultPolicy, install_uniform_faults
 from repro.sim.latency import ConstantLatency, NormalLatency, UniformLatency
+from repro.workload.openloop import FlashCrowdProcess
 
 pytestmark = pytest.mark.integration
 
@@ -466,6 +467,53 @@ class TestChaosMatrix:
                 assert client.outstanding == 0
 
         run_with_artifact("split-parallel-exec-crash", config, extra)
+
+    def test_flash_crowd_sequencer_crash_with_shedding(self):
+        # The overload cell: a flash crowd drives both shards past their
+        # admission bound (ISSUE 8) while shard 0's sequencer dies at
+        # the top of the surge.  Failover must not turn shedding into
+        # lost requests or double decisions: every offered arrival
+        # resolves into exactly one of admitted/shed/throttled
+        # (check_admission_accounting, inside the full bundle), and the
+        # run reaches quiescence despite the crash landing mid-flood.
+        config = ShardedScenarioConfig(
+            n_shards=2,
+            n_servers=3,
+            n_clients=2,
+            requests_per_client=120,
+            machine="bank",
+            driver="session",
+            open_rate=3.0,
+            arrival=FlashCrowdProcess(
+                base_rate=1.0, peak_rate=8.0, at=10.0,
+                ramp=10.0, hold=120.0, decay=20.0,
+            ),
+            n_sessions=40,
+            oar=OARConfig(order_cost=0.5),
+            admission_limit=6,
+            latency=make_latency(),
+            fd_interval=1.0,
+            fd_timeout=8.0,
+            retry_interval=30.0,
+            fault_schedule=FaultSchedule().crash(25.0 + (SEED % 3), "s0.p1"),
+            grace=300.0,
+            horizon=50_000.0,
+            seed=SEED + 1300,
+        )
+
+        def extra(run):
+            total_shed = sum(s.shed for ss in run.shards for s in ss)
+            assert total_shed > 0, "the flash crowd should force sheds"
+            # The crash forced a failover on shard 0.
+            assert any(
+                s.epoch > 0 for s in run.shards[0] if not s.crashed
+            ), "shard 0 never rotated off the crashed sequencer"
+            for driver in run.drivers:
+                assert driver.offered == (
+                    driver.admitted + driver.shed + driver.throttled
+                )
+
+        run_with_artifact("flash-crowd-shedding-crash", config, extra)
 
 
 class TestChaosLinkFaults:

@@ -1,0 +1,204 @@
+"""Unit tests for the overload harness: arrival processes, the streaming
+latency recorder, and the admission-control primitives."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.core.admission import Overloaded, TokenBucket, is_overloaded, traffic_class
+from repro.statemachine.base import OpResult
+from repro.workload.openloop import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    LatencyRecorder,
+    PoissonProcess,
+)
+
+pytestmark = pytest.mark.unit
+
+
+def sample_arrivals(process, rng, until):
+    """Arrival timestamps of ``process`` up to simulated time ``until``."""
+    times = []
+    t = 0.0
+    while True:
+        t += process.next_gap(t, rng)
+        if t > until:
+            return times
+        times.append(t)
+
+
+class TestArrivalProcesses:
+    def test_seeded_determinism(self):
+        for process in (
+            PoissonProcess(2.0),
+            DiurnalProcess(base_rate=0.5, peak_rate=4.0, period=100.0),
+            FlashCrowdProcess(base_rate=0.5, peak_rate=8.0, at=20.0, ramp=5.0,
+                              hold=10.0, decay=5.0),
+        ):
+            a = sample_arrivals(process, random.Random(7), 200.0)
+            b = sample_arrivals(process, random.Random(7), 200.0)
+            assert a == b
+            assert a != sample_arrivals(process, random.Random(8), 200.0)
+
+    def test_poisson_rate_accuracy(self):
+        # Mean arrivals over a long window converge on rate * window.
+        times = sample_arrivals(PoissonProcess(2.0), random.Random(1), 5_000.0)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_diurnal_rate_shape_and_accuracy(self):
+        process = DiurnalProcess(base_rate=1.0, peak_rate=3.0, period=100.0)
+        # Intensity: trough at phase, peak half a period later.
+        assert process.rate_at(0.0) == pytest.approx(1.0)
+        assert process.rate_at(50.0) == pytest.approx(3.0)
+        assert process.rate_at(100.0) == pytest.approx(1.0)
+        # Total over whole periods converges on the mean rate (2.0).
+        times = sample_arrivals(process, random.Random(2), 5_000.0)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+        # Thinning is exact, not just mean-preserving: the peak
+        # half-cycle integrates to (mid + 2*amp/pi) / (mid - 2*amp/pi)
+        # ~= 1.93x the trough half-cycle's arrivals.
+        trough = sum(1 for t in times if (t % 100.0) < 25.0 or (t % 100.0) >= 75.0)
+        peak = len(times) - trough
+        mid, amp = 2.0, 1.0
+        expected = (mid + 2 * amp / math.pi) / (mid - 2 * amp / math.pi)
+        assert peak / trough == pytest.approx(expected, rel=0.1)
+
+    def test_flash_crowd_shape(self):
+        process = FlashCrowdProcess(
+            base_rate=1.0, peak_rate=9.0, at=100.0, ramp=10.0, hold=20.0, decay=10.0
+        )
+        assert process.rate_at(0.0) == 1.0
+        assert process.rate_at(105.0) == pytest.approx(5.0)  # mid-ramp
+        assert process.rate_at(120.0) == 9.0  # holding
+        assert process.rate_at(135.0) == pytest.approx(5.0)  # mid-decay
+        assert process.rate_at(200.0) == 1.0
+        # Arrival counts inside vs outside the surge reflect the shape.
+        times = sample_arrivals(process, random.Random(3), 1_000.0)
+        surge = sum(1 for t in times if 110.0 <= t < 130.0)  # 20u at rate 9
+        quiet = sum(1 for t in times if 300.0 <= t < 320.0)  # 20u at rate 1
+        assert surge > 3 * max(quiet, 1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+        with pytest.raises(ValueError):
+            DiurnalProcess(base_rate=2.0, peak_rate=1.0, period=10.0)
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(base_rate=1.0, peak_rate=2.0, at=0.0, ramp=0.0)
+
+
+class TestLatencyRecorder:
+    def test_exact_mode_matches_stats_percentile(self):
+        rng = random.Random(5)
+        values = [rng.expovariate(0.3) for _ in range(500)]
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0):
+            assert recorder.quantile(q) == pytest.approx(percentile(values, q))
+        assert recorder.count == 500
+        assert recorder.min == min(values)
+        assert recorder.max == max(values)
+        assert recorder.mean == pytest.approx(sum(values) / len(values))
+
+    def test_bucketed_mode_bounded_relative_error(self):
+        rng = random.Random(6)
+        values = [rng.lognormvariate(1.0, 1.0) for _ in range(20_000)]
+        recorder = LatencyRecorder(exact_limit=256, growth=1.02)
+        for value in values:
+            recorder.record(value)
+        # Exact stats survive the collapse.
+        assert recorder.count == len(values)
+        assert recorder.max == max(values)
+        # Quantiles within the bucket-width relative error (~2%, with
+        # margin for the rank-vs-interpolation difference).
+        for q in (0.5, 0.9, 0.99):
+            exact = percentile(values, q)
+            assert recorder.quantile(q) == pytest.approx(exact, rel=0.03)
+
+    def test_merge_exact(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        left = [1.0, 5.0, 2.0]
+        right = [4.0, 3.0]
+        for v in left:
+            a.record(v)
+        for v in right:
+            b.record(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.quantile(0.5) == 3.0
+        assert a.summary()["p50"] == 3.0
+        assert b.count == 2  # merge leaves the source untouched
+
+    def test_merge_bucketed_equals_single_recorder(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(1.0) + 0.01 for _ in range(5_000)]
+        merged = LatencyRecorder(exact_limit=128)
+        for v in values[:2_500]:
+            merged.record(v)
+        other = LatencyRecorder(exact_limit=128)
+        for v in values[2_500:]:
+            other.record(v)
+        merged.merge(other)
+        single = LatencyRecorder(exact_limit=128)
+        for v in values:
+            single.record(v)
+        assert merged.count == single.count
+        for q in (0.5, 0.99, 0.999):
+            assert merged.quantile(q) == pytest.approx(single.quantile(q), rel=0.03)
+
+    def test_empty_and_degenerate(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.quantile(0.5)
+        assert recorder.summary() == {"count": 0}
+        recorder.record(4.2)
+        assert recorder.p50 == recorder.p999 == 4.2
+
+
+class TestAdmissionPrimitives:
+    def test_traffic_class_bulkheads_control_ops(self):
+        assert traffic_class(("incr",)) == "write"
+        assert traffic_class(("deposit", "alice", 5)) == "write"
+        assert traffic_class(("mig_prepare", "m1", "k")) == "control"
+        assert traffic_class(("split_install", "s1")) == "control"
+        assert traffic_class(("tx_prepare", "t1")) == "control"
+        assert traffic_class(()) == "write"
+
+    def test_is_overloaded_unwraps_opresult(self):
+        shed = Overloaded(cls="write", queue=16, limit=16)
+        assert is_overloaded(shed)
+        assert is_overloaded(OpResult(ok=False, value=shed, error="overloaded"))
+        assert not is_overloaded(OpResult(ok=True, value=3))
+        assert not is_overloaded(None)
+
+    def test_token_bucket_rate_and_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        # The full burst is available at t=0, then the rate governs.
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        assert bucket.try_acquire(1.0)  # one token refilled
+        assert not bucket.try_acquire(1.0)
+        assert bucket.acquired == 4
+        assert bucket.throttled == 2
+
+    def test_token_bucket_backoff_doubles_and_resets(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, backoff_base=4.0, backoff_cap=10.0)
+        bucket.penalize(0.0)
+        assert bucket.frozen_until == 4.0
+        # Frozen: no refill accrues, even across the window boundary.
+        assert not bucket.try_acquire(2.0)
+        bucket.penalize(2.0)  # second strike: window doubles
+        assert bucket.frozen_until == 2.0 + 8.0
+        bucket.penalize(3.0)  # third strike: capped
+        assert bucket.frozen_until == 3.0 + 10.0
+        # Success resets the strike count; the next penalty is base again.
+        bucket.restore()
+        bucket.penalize(20.0)
+        assert bucket.frozen_until == 24.0
+        # After the freeze, refill resumes from the freeze end.
+        assert bucket.try_acquire(26.0)
