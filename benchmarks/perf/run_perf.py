@@ -24,6 +24,12 @@ product from the committed file's same-shape reference (``results`` in
 full mode, ``quick_reference`` in quick mode) -- a slow CI box scales
 both factors' machine term away, while B10 getting slower *relative to
 the kernel* beyond ``B10_TOLERANCE`` fails.
+
+The real-backend ``wallclock`` section is gated on its *same-run
+ratios* -- binary codec >= ``CODEC_MIN_RATIO`` x pickle on the protocol
+mix, optimized TCP OAR >= ``OAR_MIN_RATIO`` x the pre-PR transport
+shape -- plus a kernel-normalized regression tolerance on the binary
+OAR cell (see ``docs/BENCHMARKS.md``).
 """
 
 from __future__ import annotations
@@ -66,6 +72,23 @@ EXEC_TOLERANCE = 0.50
 #: sharding-layer regressions (an accidental O(n^2) drain, a lost fast
 #: path), which overshoot this margin by far.
 B10_TOLERANCE = 0.60
+
+#: The binary codec must beat pickle by at least this factor on the
+#: protocol-mix micro.  Same-run ratio, so machine speed cancels; the
+#: measured margin is ~3.3-3.5x and one interleaved re-measure absorbs
+#: scheduler noise before the gate fails.
+CODEC_MIN_RATIO = 3.0
+
+#: The optimized TCP transport (binary codec + coalescing + order
+#: batching) must beat the pre-PR shape (pickle, one write per frame,
+#: no batching) by at least this factor on failure-free OAR ops/sec.
+OAR_MIN_RATIO = 2.0
+
+#: Tolerance for the kernel-normalized regression check on the binary
+#: TCP OAR cell -- as loose as the B10 gate and for the same reason:
+#: real-socket wall-clocks are the noisiest numbers in the suite, and
+#: this check exists to catch structural transport regressions.
+WALLCLOCK_TOLERANCE = 0.60
 
 
 def _b10_reference(payload: dict, committed: dict) -> dict:
@@ -160,6 +183,73 @@ def check_against(payload: dict, committed_path: str) -> int:
             )
     else:
         notes.append("exec gate skipped (no committed exec_ops_per_sec)")
+
+    # Wall-clock section: same-run ratio floors (machine-independent)
+    # plus a kernel-normalized regression check on the binary OAR cell.
+    wallclock = payload.get("wallclock")
+    if wallclock:
+        codec_ratio = wallclock["ratios"]["codec_binary_vs_pickle"]
+        if codec_ratio < CODEC_MIN_RATIO:
+            # One interleaved re-measure before failing: a loaded CI
+            # neighbour can shave a run's ratio; a real codec regression
+            # shaves every run's.
+            from benchmarks.perf.wallclock import codec_rates
+
+            rates = codec_rates(4_000)
+            codec_ratio = max(codec_ratio, rates["binary"] / rates["pickle"])
+        if codec_ratio < CODEC_MIN_RATIO:
+            failures.append(
+                f"binary codec lost its margin: {codec_ratio:.2f}x over "
+                f"pickle is below the {CODEC_MIN_RATIO:.0f}x floor"
+            )
+        else:
+            notes.append(f"codec {codec_ratio:.2f}x >= {CODEC_MIN_RATIO:.0f}x")
+        oar_ratio = wallclock["ratios"]["oar_binary_vs_pre_pr"]
+        if oar_ratio < OAR_MIN_RATIO:
+            # Same one-retry policy as the codec ratio: the end-to-end
+            # cells run ~1 s each, so one re-measure of interleaved
+            # pairs distinguishes a noisy neighbour from a real loss.
+            from benchmarks.perf.wallclock import oar_rates
+
+            rates = oar_rates(150)
+            oar_ratio = max(
+                oar_ratio, rates["binary"] / rates["pickle_unbatched"]
+            )
+        if oar_ratio < OAR_MIN_RATIO:
+            failures.append(
+                f"TCP OAR transport lost its margin: {oar_ratio:.2f}x over "
+                f"the pre-PR shape is below the {OAR_MIN_RATIO:.0f}x floor"
+            )
+        else:
+            notes.append(f"tcp oar {oar_ratio:.2f}x >= {OAR_MIN_RATIO:.0f}x")
+
+        committed_oar = (
+            committed.get("wallclock", {})
+            .get("tcp_oar_ops_per_sec", {})
+            .get("binary")
+        )
+        if committed_oar and committed_kernel:
+            measured_ratio = wallclock["tcp_oar_ops_per_sec"]["binary"] / measured
+            reference_ratio = committed_oar / committed_kernel
+            floor_ratio = reference_ratio * (1.0 - WALLCLOCK_TOLERANCE)
+            if measured_ratio < floor_ratio:
+                failures.append(
+                    f"TCP OAR wall-clock regressed: {measured_ratio:.6f} ops "
+                    f"per kernel event is below {floor_ratio:.6f} "
+                    f"({100 * (1 - WALLCLOCK_TOLERANCE):.0f}% of the "
+                    f"committed {reference_ratio:.6f})"
+                )
+            else:
+                notes.append(
+                    f"tcp oar {measured_ratio:.6f} >= {floor_ratio:.6f} "
+                    f"ops/kernel-event"
+                )
+        else:
+            notes.append(
+                "tcp oar regression check skipped (no committed wallclock)"
+            )
+    else:
+        notes.append("wallclock gates skipped (suite ran without wallclock)")
 
     expected_digest = committed.get("golden_digest", GOLDEN_DIGEST)
     if payload["golden_digest"] != expected_digest:

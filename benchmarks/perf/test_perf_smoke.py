@@ -16,7 +16,10 @@ pytestmark = pytest.mark.bench
 
 
 def test_suite_runs_quick_and_payload_is_complete(tmp_path):
-    payload = harness.run_suite(quick=True, repeats=1)
+    # wallclock=False: the TCP cells take tens of seconds and are
+    # covered by test_wallclock_cells below with tiny shapes.
+    payload = harness.run_suite(quick=True, repeats=1, wallclock=False)
+    assert "wallclock" not in payload
     for bench in harness.BENCHES:
         assert payload["results"][bench.key] > 0
     assert payload["mode"] == "quick"
@@ -35,6 +38,31 @@ def test_suite_runs_quick_and_payload_is_complete(tmp_path):
     table = harness.format_table(payload)
     for bench in harness.BENCHES:
         assert bench.label in table
+
+
+def test_wallclock_cells():
+    """Tiny-shape versions of the real-backend cells: the codec micro
+    keeps its margin over pickle, the TCP ping-pong moves messages, and
+    the section renders.  Full-size cells run in ``run_perf.py``."""
+    from benchmarks.perf import wallclock
+
+    rates = wallclock.codec_rates(300)
+    assert rates["binary"] > rates["pickle"] > 0
+    pingpong = wallclock.tcp_pingpong_msgs_per_sec("binary", 200)
+    assert pingpong > 0
+    # The reconstructed pre-PR transport (the OAR baseline cell's
+    # denominator) still hosts a full scenario end to end.
+    assert wallclock.tcp_oar_ops_per_sec_baseline(5) > 0
+    section = {
+        "codec_roundtrips_per_sec": {k: round(v, 1) for k, v in rates.items()},
+        "tcp_pingpong_msgs_per_sec": {"binary": round(pingpong, 1)},
+        "ratios": {
+            "codec_binary_vs_pickle": round(rates["binary"] / rates["pickle"], 2),
+            "oar_binary_vs_pre_pr": 1.0,
+        },
+    }
+    rendered = wallclock.format_wallclock(section)
+    assert "codec binary/pickle" in rendered
 
 
 def test_golden_digest_is_stable():

@@ -29,12 +29,15 @@ pytestmark = pytest.mark.bench
 REQUESTS = 30
 
 
-def run_cluster(cluster_kind: str, n_servers: int = 3):
+def run_cluster(cluster_kind: str, n_servers: int = 3, trace_level: str = "off"):
+    # trace_level defaults to "off": these are wall-clock latency cells,
+    # and full tracing is a hot-path cost the checker-less runs must not
+    # pay.  The consistency test below opts back into "full".
     async def scenario():
         if cluster_kind == "tcp":
-            cluster = TcpCluster()
+            cluster = TcpCluster(trace_level=trace_level)
         else:
-            cluster = AsyncioCluster(link_delay=0.0005)
+            cluster = AsyncioCluster(link_delay=0.0005, trace_level=trace_level)
         group = [f"p{i + 1}" for i in range(n_servers)]
         servers = []
         for pid in group:
@@ -74,7 +77,11 @@ def run_cluster(cluster_kind: str, n_servers: int = 3):
 @pytest.mark.parametrize("cluster_kind", ["inmemory", "tcp"])
 def test_runtime_completes_consistently(benchmark, cluster_kind):
     cluster, servers, client, done = benchmark.pedantic(
-        run_cluster, args=(cluster_kind,), rounds=1, iterations=1
+        run_cluster,
+        args=(cluster_kind,),
+        kwargs={"trace_level": "full"},  # the external-consistency check reads it
+        rounds=1,
+        iterations=1,
     )
     assert done
     assert len(client.adopted) == REQUESTS

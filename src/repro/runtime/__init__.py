@@ -2,21 +2,56 @@
 
 The deterministic simulator answers every correctness question; this
 runtime answers the "does it actually run as a networked program"
-question, and provides the wall-clock latency numbers of benchmark B8.
-Two transports are provided:
+question and carries the wall-clock throughput story (benchmark B8 and
+the ``wallclock`` section of ``BENCH_perf.json``).  Two transports:
 
 * :class:`~repro.runtime.host.AsyncioCluster` -- in-process message
   passing over asyncio queues with optional injected delay (the honest
   laptop-scale equivalent of a LAN: the paper's latencies were LAN
   round-trips, ours are event-loop hops plus the configured delay).
-* :class:`~repro.runtime.tcp.TcpCluster` -- every process is served on a
-  real localhost TCP socket with length-prefixed pickled messages.
+* :class:`~repro.runtime.tcp.TcpCluster` -- every process served on a
+  real localhost TCP socket.  Frames are length-prefixed bodies from a
+  per-cluster wire codec (:mod:`repro.runtime.codec`): the compact
+  tagged binary codec by default, or ``codec="pickle"`` for the seed
+  behaviour.  Sends coalesce into per-connection buffers; see the
+  module docs for the flush and reconnect rules.
 
 Both host the **same** :class:`~repro.sim.process.Process` subclasses as
 the simulator -- the protocol code has no idea which world it lives in.
+Full sharded scenarios (router, sharded clients, replica-local reads)
+run over either transport through
+:func:`~repro.runtime.scenario.run_runtime_scenario`, which returns a
+genuine :class:`~repro.sharding.cluster.ShardedRun` view so the entire
+``check_all`` checker bundle applies to wall-clock runs unchanged.
 """
 
+from repro.runtime.codec import (
+    WIRE_TAGS,
+    BinaryCodec,
+    PickleCodec,
+    make_codec,
+    registered_types,
+)
 from repro.runtime.host import AsyncioCluster, AsyncioEnv
+from repro.runtime.scenario import (
+    RuntimeScenarioConfig,
+    RuntimeShardedRun,
+    execute_runtime_scenario,
+    run_runtime_scenario,
+)
 from repro.runtime.tcp import TcpCluster
 
-__all__ = ["AsyncioCluster", "AsyncioEnv", "TcpCluster"]
+__all__ = [
+    "AsyncioCluster",
+    "AsyncioEnv",
+    "BinaryCodec",
+    "PickleCodec",
+    "RuntimeScenarioConfig",
+    "RuntimeShardedRun",
+    "TcpCluster",
+    "WIRE_TAGS",
+    "execute_runtime_scenario",
+    "make_codec",
+    "registered_types",
+    "run_runtime_scenario",
+]

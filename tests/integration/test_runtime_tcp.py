@@ -1,0 +1,294 @@
+"""Integration tests for the TCP runtime: sharded parity + transport.
+
+The headline acceptance test: a seeded sharded scenario executed over
+:class:`~repro.runtime.tcp.TcpCluster` with the binary codec passes the
+*full* ``check_all`` bundle -- the same checkers that gate every sim
+run (single-shard safety, read consistency, cross-shard atomicity,
+fault-plane and admission accounting, fragment conservation).  The
+runtime scenario builder wraps a genuine
+:class:`~repro.sharding.cluster.ShardedRun` view, so nothing here is a
+weakened parity mode.
+
+The transport-level tests pin the throughput mechanisms directly:
+write coalescing (flushes < frames), encode-once fan-out, dead-peer
+reconnect accounting, and the trace-level hot-path gate.
+"""
+
+import asyncio
+from typing import Any, List
+
+import pytest
+
+from repro.runtime.scenario import (
+    RuntimeScenarioConfig,
+    run_runtime_scenario,
+)
+from repro.runtime.tcp import TcpCluster
+from repro.sharding.cluster import ShardedScenarioConfig
+from repro.sim.process import Process
+
+pytestmark = pytest.mark.integration
+
+
+def _config(**overrides: Any) -> ShardedScenarioConfig:
+    base = dict(
+        seed=7,
+        n_shards=2,
+        n_servers=3,
+        n_clients=4,
+        requests_per_client=10,
+        machine="kv",
+        workload="uniform",
+        n_keys=32,
+    )
+    base.update(overrides)
+    return ShardedScenarioConfig(**base)
+
+
+class TestShardedParity:
+    def test_tcp_binary_sharded_scenario_passes_check_all(self):
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(scenario=_config(), backend="tcp")
+        )
+        assert run.completed
+        run.check_all()
+        assert run.ops_per_sec() > 0
+        stats = run.transport_stats()
+        assert stats["frames_sent"] > 0
+        assert stats["dropped_frames"] == 0
+
+    def test_tcp_cross_shard_bank_two_phase_commit(self):
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(
+                scenario=_config(machine="bank", workload="cross", seed=11),
+                backend="tcp",
+            )
+        )
+        assert run.completed
+        run.check_all()
+
+    def test_tcp_readheavy_optimistic_reads(self):
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(
+                scenario=_config(
+                    machine="bank",
+                    workload="readheavy",
+                    read_ratio=0.8,
+                    read_mode="optimistic",
+                    seed=3,
+                ),
+                backend="tcp",
+            )
+        )
+        assert run.completed
+        run.check_all()
+        assert sum(c.reads_adopted for c in run.clients) > 0
+
+    def test_asyncio_backend_parity(self):
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(scenario=_config(seed=5), backend="asyncio")
+        )
+        assert run.completed
+        run.check_all()
+
+    def test_pickle_codec_reaches_same_quiescence(self):
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(scenario=_config(), backend="tcp", codec="pickle")
+        )
+        assert run.completed
+        run.check_all()
+
+    def test_sim_only_features_are_rejected(self):
+        with pytest.raises(ValueError, match="sim-only"):
+            run_runtime_scenario(
+                RuntimeScenarioConfig(
+                    scenario=_config(faults={"p1": 1.0}), backend="tcp"
+                )
+            )
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_runtime_scenario(
+                RuntimeScenarioConfig(scenario=_config(), backend="carrier-pigeon")
+            )
+
+
+class _Recorder(Process):
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.received: List[Any] = []
+
+    def on_message(self, src: str, payload: Any) -> None:
+        self.received.append((src, payload))
+
+
+class TestTransport:
+    def test_coalescing_shares_writes_and_fanout_encodes_once(self):
+        async def scenario():
+            cluster = TcpCluster(trace_level="off")
+            a = _Recorder("a")
+            receivers = [_Recorder(f"r{i}") for i in range(3)]
+            cluster.add_process(a)
+            for receiver in receivers:
+                cluster.add_process(receiver)
+            await cluster.start()
+            payload = ("broadcast", "x" * 64)
+            for _ in range(20):  # same object, fan-out to all receivers
+                for receiver in receivers:
+                    a.env.send(receiver.pid, payload)
+            await cluster.run_until(
+                lambda: all(len(r.received) == 20 for r in receivers), timeout=5
+            )
+            stats = cluster.stats()
+            await cluster.shutdown()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["frames_sent"] == 60
+        # All frames to one destination were emitted in one turn: they
+        # share a single flush per connection, not one write per frame.
+        assert stats["flushes"] < stats["frames_sent"]
+        # The identity cache only re-encodes when the object changes:
+        # the same payload object across the whole synchronous burst is
+        # one encode, every other send is a hit.
+        assert stats["encode_cache_hits"] == 59
+
+    def test_dead_writer_reconnects_once_and_redelivers(self):
+        async def scenario():
+            cluster = TcpCluster(trace_level="off")
+            a, b = _Recorder("a"), _Recorder("b")
+            cluster.add_process(a)
+            cluster.add_process(b)
+            await cluster.start()
+            a.env.send("b", "first")
+            await cluster.run_until(lambda: len(b.received) == 1, timeout=5)
+            # Kill the cached writer out from under the cluster (as if
+            # the peer's end dropped): the next flush must reconnect
+            # once and still deliver.
+            conn = cluster._conns[("a", "b")]
+            conn.writer.close()
+            await asyncio.sleep(0.01)
+            a.env.send("b", "second")
+            delivered = await cluster.run_until(
+                lambda: len(b.received) == 2, timeout=5
+            )
+            stats = cluster.stats()
+            await cluster.shutdown()
+            return delivered, stats
+
+        delivered, stats = asyncio.run(scenario())
+        assert delivered
+        assert stats["reconnects"] == 1
+        assert stats["dropped_frames"] == 0
+
+    def test_frames_to_crashed_peer_are_dropped_not_raised(self):
+        async def scenario():
+            cluster = TcpCluster(trace_level="off")
+            a, b = _Recorder("a"), _Recorder("b")
+            cluster.add_process(a)
+            cluster.add_process(b)
+            await cluster.start()
+            cluster.crash("b")  # server closed; no connection exists yet
+            a.env.send("b", "into the void")
+            await asyncio.sleep(0.05)
+            stats = cluster.stats()
+            await cluster.shutdown()
+            return stats, b.received
+
+        stats, received = asyncio.run(scenario())
+        assert received == []
+        assert stats["dropped_frames"] >= 0  # no exception escaped is the point
+
+    def test_trace_level_off_disables_recording(self):
+        async def scenario():
+            cluster = TcpCluster(trace_level="off")
+            a = _Recorder("a")
+            cluster.add_process(a)
+            await cluster.start()
+            a.env.trace("custom", x=1)
+            await cluster.shutdown()
+            return cluster.trace.events()
+
+        assert asyncio.run(scenario()) == []
+
+    def test_flush_bytes_one_writes_per_frame(self):
+        """``flush_bytes=1`` recovers the seed's write-per-send shape
+        (this is what the wall-clock baseline cell relies on)."""
+
+        async def scenario():
+            cluster = TcpCluster(trace_level="off", flush_bytes=1)
+            a, b = _Recorder("a"), _Recorder("b")
+            cluster.add_process(a)
+            cluster.add_process(b)
+            await cluster.start()
+            # Establish the connection first: frames buffered while the
+            # connect is in flight legitimately share its first flush.
+            a.env.send("b", "hello")
+            await cluster.run_until(lambda: len(b.received) == 1, timeout=5)
+            baseline = cluster.stats()["flushes"]
+            for index in range(10):
+                a.env.send("b", index)
+            await cluster.run_until(lambda: len(b.received) == 11, timeout=5)
+            stats = cluster.stats()
+            await cluster.shutdown()
+            return stats["flushes"] - baseline
+
+        assert asyncio.run(scenario()) >= 10
+
+    def test_flush_interval_batches_across_turns(self):
+        """With a timed flush window, frames sent in *separate* turns
+        still share one write (turn-boundary flushing cannot)."""
+
+        async def scenario():
+            cluster = TcpCluster(trace_level="off", flush_interval=0.05)
+            a, b = _Recorder("a"), _Recorder("b")
+            cluster.add_process(a)
+            cluster.add_process(b)
+            await cluster.start()
+            a.env.send("b", "hello")
+            await cluster.run_until(lambda: len(b.received) == 1, timeout=5)
+            baseline = cluster.stats()["flushes"]
+            for index in range(5):
+                a.env.send("b", index)
+                await asyncio.sleep(0)  # a fresh event-loop turn per frame
+            await cluster.run_until(lambda: len(b.received) == 6, timeout=5)
+            stats = cluster.stats()
+            await cluster.shutdown()
+            return stats["flushes"] - baseline
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_pump_receive_path_delivers_and_reaches_quiescence(self):
+        """``direct_dispatch=False`` (the seed's inbox-queue + pump-task
+        receive shape, kept for the wall-clock baseline cell) still
+        delivers every frame and completes a full sharded run."""
+
+        async def scenario():
+            cluster = TcpCluster(trace_level="off", direct_dispatch=False)
+            a, b = _Recorder("a"), _Recorder("b")
+            cluster.add_process(a)
+            cluster.add_process(b)
+            await cluster.start()
+            for index in range(10):
+                a.env.send("b", index)
+            delivered = await cluster.run_until(
+                lambda: len(b.received) == 10, timeout=5
+            )
+            await cluster.shutdown()
+            return delivered, [payload for _src, payload in b.received]
+
+        delivered, payloads = asyncio.run(scenario())
+        assert delivered
+        assert payloads == list(range(10))  # per-channel FIFO survives
+
+        run = run_runtime_scenario(
+            RuntimeScenarioConfig(
+                scenario=_config(),
+                backend="tcp",
+                codec="pickle",
+                flush_bytes=1,
+                encode_cache=False,
+                tcp_batch_interval=None,
+                tcp_direct_dispatch=False,
+            )
+        )
+        assert run.completed
+        run.check_all()
